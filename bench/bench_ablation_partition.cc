@@ -1,0 +1,58 @@
+/// \file bench_ablation_partition.cc
+/// \brief Ablation of the four built-in partitioners (Section 3.2): edge-cut
+/// quality, balance, partitioning time and the downstream effect on
+/// remote-read counts during neighborhood sampling.
+
+#include <cstdio>
+#include <numeric>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "common/timer.h"
+#include "gen/taobao.h"
+#include "partition/partitioner.h"
+#include "sampling/sampler.h"
+
+int main(int argc, char** argv) {
+  using namespace aligraph;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::Banner(
+      "Ablation — partition algorithm choice",
+      "partitioners trade partition time for edge-cut quality; fewer cut "
+      "edges mean fewer remote reads during sampling");
+
+  auto graph =
+      std::move(gen::Taobao(gen::TaobaoSmallConfig(0.3 * args.scale))).value();
+  std::printf("dataset: %s, 8 workers\n\n", graph.ToString().c_str());
+
+  bench::Row({"partitioner", "partition (ms)", "edge cut", "edge balance",
+              "remote reads"});
+  for (const char* name :
+       {"edge_cut", "vertex_cut", "grid2d", "streaming", "metis"}) {
+    auto partitioner = std::move(MakePartitioner(name)).value();
+    Timer t;
+    ClusterBuildReport report;
+    auto cluster = Cluster::Build(graph, *partitioner, 8, &report);
+    if (!cluster.ok()) continue;
+    const double partition_ms = report.partition_ms;
+
+    // Downstream workload: 2-hop neighborhood sampling from worker 0.
+    CommStats stats;
+    DistributedNeighborSource source(*cluster, 0, &stats);
+    NeighborhoodSampler hood(NeighborStrategy::kUniform, 5);
+    TraverseSampler traverse(
+        std::vector<VertexId>(cluster->server(0).owned_vertices()), 7);
+    const std::vector<uint32_t> fans{10, 5};
+    for (int round = 0; round < 10; ++round) {
+      auto seeds = traverse.Sample(128);
+      if (seeds.empty()) break;
+      hood.Sample(source, seeds, NeighborhoodSampler::kAllEdgeTypes, fans);
+    }
+
+    bench::Row({name, bench::Fmt("%.1f", partition_ms),
+                bench::Fmt("%.3f", report.partition_stats.edge_cut_fraction),
+                bench::Fmt("%.2f", report.partition_stats.edge_balance),
+                std::to_string(stats.remote_reads.load())});
+  }
+  return 0;
+}

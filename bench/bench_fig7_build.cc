@@ -1,0 +1,65 @@
+/// \file bench_fig7_build.cc
+/// \brief Figure 7: graph-building time vs. number of workers on
+/// Taobao-small and Taobao-large (synthetic), plus the PowerGraph-style
+/// naive serial loader as the order-of-magnitude comparator.
+///
+/// Simulated parallel time = partition + distribute/p + slowest worker
+/// (critical path); see cluster.h for the simulation contract.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "cluster/cluster.h"
+#include "gen/taobao.h"
+#include "partition/partitioner.h"
+
+namespace aligraph {
+namespace {
+
+void RunDataset(const char* name, const gen::TaobaoConfig& config) {
+  auto graph = std::move(gen::Taobao(config)).value();
+  std::printf("\n%s: %s\n", name, graph.ToString().c_str());
+
+  // The serial comparator mimics a synchronously coordinated loader: the
+  // measured locked build plus a modeled 1 us/edge coordination round (the
+  // cross-machine synchronization a serial distributed ingest pays per
+  // edge; AliGraph's streaming partition-parallel ingest avoids it). This
+  // coordination model is what turns "minutes" into "hours" at the paper's
+  // 6.8B-edge scale.
+  const double kCoordinationUsPerEdge = 1.0;
+  const double naive_ms = NaiveLockedBuildMillis(graph) +
+                          graph.num_edges() * kCoordinationUsPerEdge * 1e-3;
+  std::printf("naive serial loader (measured + modeled %.1f us/edge "
+              "coordination): %.1f ms\n",
+              kCoordinationUsPerEdge, naive_ms);
+
+  bench::Row({"workers", "parallel build (ms)", "speedup vs naive",
+              "edge cut"});
+  EdgeCutPartitioner partitioner;
+  for (uint32_t workers : {1u, 2u, 4u, 8u, 16u, 25u}) {
+    ClusterBuildReport report;
+    auto cluster = Cluster::Build(graph, partitioner, workers, &report);
+    if (!cluster.ok()) continue;
+    bench::Row({std::to_string(workers),
+                bench::Fmt("%.1f", report.simulated_parallel_ms),
+                bench::Fmt("%.1fx", naive_ms / report.simulated_parallel_ms),
+                bench::Fmt("%.3f", report.partition_stats.edge_cut_fraction)});
+  }
+}
+
+}  // namespace
+}  // namespace aligraph
+
+int main(int argc, char** argv) {
+  using namespace aligraph;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::Banner(
+      "Figure 7 — graph building time w.r.t. number of workers",
+      "build time decreases with workers; minutes, not hours "
+      "(order of magnitude over the naive serial loader)");
+  RunDataset("Taobao-small (synthetic)",
+             gen::TaobaoSmallConfig(args.scale));
+  RunDataset("Taobao-large (synthetic)",
+             gen::TaobaoLargeConfig(args.scale));
+  return 0;
+}

@@ -1,0 +1,113 @@
+/// \file bench_micro.cc
+/// \brief google-benchmark micro-benchmarks for the hot primitives the
+/// system layers are built from: alias-table sampling, LRU access, CSR
+/// neighbor scans, importance computation, lock-free bucket submission and
+/// the dense GEMM behind AGGREGATE/COMBINE.
+
+#include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <vector>
+
+#include "cluster/request_bucket.h"
+#include "common/alias_table.h"
+#include "common/lru_cache.h"
+#include "common/random.h"
+#include "gen/powerlaw.h"
+#include "graph/khop.h"
+#include "nn/matrix.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace {
+
+const AttributedGraph& BenchGraph() {
+  static const AttributedGraph* g = [] {
+    gen::ChungLuConfig cfg;
+    cfg.num_vertices = 50000;
+    cfg.avg_degree = 10;
+    cfg.seed = 42;
+    return new AttributedGraph(std::move(gen::ChungLu(cfg)).value());
+  }();
+  return *g;
+}
+
+void BM_AliasTableSample(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(static_cast<size_t>(state.range(0)));
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  AliasTable table(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasTableSample)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+void BM_LruCacheGet(benchmark::State& state) {
+  LruCache<uint64_t, uint64_t> cache(4096);
+  for (uint64_t i = 0; i < 4096; ++i) cache.Put(i, i);
+  uint64_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cache.Get(key++ % 8192));
+  }
+}
+BENCHMARK(BM_LruCacheGet);
+
+void BM_CsrNeighborScan(benchmark::State& state) {
+  const AttributedGraph& g = BenchGraph();
+  Rng rng(3);
+  for (auto _ : state) {
+    const VertexId v = static_cast<VertexId>(rng.Uniform(g.num_vertices()));
+    uint64_t acc = 0;
+    for (const Neighbor& nb : g.OutNeighbors(v)) acc += nb.dst;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_CsrNeighborScan);
+
+void BM_ImportanceScores(benchmark::State& state) {
+  const AttributedGraph& g = BenchGraph();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ImportanceScores(g, static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ImportanceScores)->Arg(1)->Arg(2);
+
+void BM_NeighborhoodSample(benchmark::State& state) {
+  const AttributedGraph& g = BenchGraph();
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler;
+  std::vector<VertexId> roots(64);
+  std::iota(roots.begin(), roots.end(), 100);
+  const std::vector<uint32_t> fans{10, 5};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(
+        source, roots, NeighborhoodSampler::kAllEdgeTypes, fans));
+  }
+}
+BENCHMARK(BM_NeighborhoodSample);
+
+void BM_BucketSubmit(benchmark::State& state) {
+  BucketExecutor exec(2);
+  uint64_t group = 0;
+  for (auto _ : state) {
+    exec.Submit(group++, [] {});
+  }
+  exec.Drain();
+}
+BENCHMARK(BM_BucketSubmit);
+
+void BM_MatMul(benchmark::State& state) {
+  Rng rng(7);
+  const size_t n = static_cast<size_t>(state.range(0));
+  nn::Matrix a = nn::Matrix::Gaussian(n, n, 1.0f, rng);
+  nn::Matrix b = nn::Matrix::Gaussian(n, n, 1.0f, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(nn::MatMul(a, b));
+  }
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128);
+
+}  // namespace
+}  // namespace aligraph

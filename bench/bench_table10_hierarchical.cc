@@ -1,0 +1,53 @@
+/// \file bench_table10_hierarchical.cc
+/// \brief Table 10: Hierarchical GNN vs. plain GraphSAGE on link
+/// prediction. Paper shape: the hierarchical representation lifts all
+/// three metrics (F1 by ~7.5 points).
+
+#include <cstdio>
+
+#include "algo/gnn.h"
+#include "algo/hierarchical.h"
+#include "bench_util.h"
+#include "eval/link_prediction.h"
+#include "gen/taobao.h"
+
+int main(int argc, char** argv) {
+  using namespace aligraph;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::Banner(
+      "Table 10 — Hierarchical GNN vs GraphSAGE",
+      "hierarchical pooling lifts ROC-AUC / PR-AUC / F1 (F1 by ~7.5 pts)");
+
+  auto graph =
+      std::move(gen::Taobao(gen::TaobaoSmallConfig(0.15 * args.scale)))
+          .value();
+  auto split = std::move(eval::SplitLinkPrediction(graph, 0.15, 42)).value();
+  std::printf("dataset: %s\n\n", graph.ToString().c_str());
+
+  algo::GnnConfig base;
+  base.dim = 32;
+  base.feature_dim = 32;
+  base.epochs = 2;
+  base.batches_per_epoch = 96;
+
+  bench::Row({"method", "ROC-AUC (%)", "PR-AUC (%)", "F1 (%)"});
+  {
+    algo::GraphSage sage(base);
+    auto emb = std::move(sage.Embed(split.train)).value();
+    const auto m = eval::EvaluateLinkPrediction(emb, split);
+    bench::Row({"GraphSAGE", bench::Pct(m.roc_auc), bench::Pct(m.pr_auc),
+                bench::Pct(m.f1)});
+  }
+  {
+    algo::HierarchicalGnn::Config cfg;
+    cfg.base = base;
+    cfg.clusters = 48;
+    cfg.coarse_weight = 0.4f;
+    algo::HierarchicalGnn hier(cfg);
+    auto emb = std::move(hier.Embed(split.train)).value();
+    const auto m = eval::EvaluateLinkPrediction(emb, split);
+    bench::Row({"Hierarchical GNN (ours)", bench::Pct(m.roc_auc),
+                bench::Pct(m.pr_auc), bench::Pct(m.f1)});
+  }
+  return 0;
+}

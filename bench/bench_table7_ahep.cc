@@ -1,0 +1,123 @@
+/// \file bench_table7_ahep.cc
+/// \brief Table 7: effectiveness of AHEP vs. its competitors on Taobao-small
+/// (synthetic) link prediction.
+///
+/// Paper shape: at the real Taobao-small's 157M-vertex scale, Struc2Vec /
+/// GCN / FastGCN / GraphSAGE cannot finish in reasonable time ("N.A.") and
+/// AS-GCN runs out of memory; HEP and AHEP are the only methods that
+/// complete, with AHEP slightly below HEP in quality. At our synthetic
+/// scale everything finishes, so we report measured quality for all and a
+/// per-method runtime column; the quality relation AHEP ~= HEP (small gap)
+/// is the reproduced claim, and the runtime column shows the cost ordering
+/// that produces the paper's N.A. entries at 7400x scale.
+
+#include <cstdio>
+
+#include "algo/gnn.h"
+#include "algo/hep.h"
+#include "bench_util.h"
+#include "common/timer.h"
+#include "eval/link_prediction.h"
+#include "gen/taobao.h"
+
+namespace aligraph {
+namespace {
+
+void Report(const char* name, algo::EmbeddingAlgorithm& algorithm,
+            const eval::LinkPredictionSplit& split) {
+  Timer t;
+  auto emb = algorithm.Embed(split.train);
+  const double ms = t.ElapsedMillis();
+  if (!emb.ok()) {
+    bench::Row({name, "N.A.", "N.A.", "-"});
+    return;
+  }
+  const auto m = eval::EvaluateLinkPrediction(*emb, split);
+  bench::Row({name, bench::Pct(m.roc_auc), bench::Pct(m.f1),
+              bench::Fmt("%.0f ms", ms)});
+}
+
+}  // namespace
+}  // namespace aligraph
+
+int main(int argc, char** argv) {
+  using namespace aligraph;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::Banner(
+      "Table 7 — AHEP effectiveness vs. competitors (Taobao-small syn)",
+      "AHEP's ROC-AUC / F1 are close to HEP (paper: 75.51/50.97 vs "
+      "77.77/57.93) at a fraction of the cost; the other baselines are "
+      "N.A./O.O.M. at the paper's 157M-vertex scale");
+
+  auto graph =
+      std::move(gen::Taobao(gen::TaobaoSmallConfig(0.2 * args.scale))).value();
+  auto split = std::move(eval::SplitLinkPrediction(graph, 0.15, 42)).value();
+  std::printf("dataset: %s\n\n", graph.ToString().c_str());
+
+  bench::Row({"method", "ROC-AUC (%)", "F1 (%)", "train time"});
+
+  {
+    algo::Struc2Vec::Config c;
+    c.sgns.dim = 32;
+    c.sgns.epochs = 1;
+    c.walks.walks_per_vertex = 2;
+    c.walks.walk_length = 8;
+    algo::Struc2Vec s2v(c);
+    Report("Struc2Vec", s2v, split);
+  }
+  {
+    algo::Gcn::Config c;
+    c.base.dim = 32;
+    c.base.feature_dim = 32;
+    c.base.epochs = 2;
+    algo::Gcn gcn(c);
+    Report("GCN", gcn, split);
+  }
+  {
+    algo::Gcn::Config c;
+    c.base.dim = 32;
+    c.base.feature_dim = 32;
+    c.base.epochs = 2;
+    c.mode = algo::GcnMode::kFastGcn;
+    algo::Gcn fast(c);
+    Report("FastGCN", fast, split);
+  }
+  {
+    algo::Gcn::Config c;
+    c.base.dim = 32;
+    c.base.feature_dim = 32;
+    c.base.epochs = 2;
+    c.mode = algo::GcnMode::kAsGcn;
+    algo::Gcn as(c);
+    Report("AS-GCN", as, split);
+  }
+  {
+    algo::GnnConfig c;
+    c.dim = 32;
+    c.feature_dim = 32;
+    c.epochs = 2;
+    c.batches_per_epoch = 64;
+    algo::GraphSage sage(c);
+    Report("GraphSAGE", sage, split);
+  }
+  {
+    algo::Hep::Config c;
+    c.dim = 32;
+    c.epochs = 6;
+    c.learning_rate = 0.1f;
+    c.negatives = 5;
+    algo::Hep hep(c);
+    Report("HEP", hep, split);
+  }
+  {
+    algo::Hep::Config c;
+    c.dim = 32;
+    c.epochs = 6;
+    c.learning_rate = 0.1f;
+    c.negatives = 5;
+    c.sample_size = 2;
+    algo::Hep ahep(c);
+    Report("AHEP", ahep, split);
+  }
+  return 0;
+}

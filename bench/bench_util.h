@@ -1,0 +1,62 @@
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment harnesses in bench/: table
+/// printing in the paper's layout and a --scale command-line knob so every
+/// experiment can grow toward paper scale on bigger machines.
+
+#ifndef ALIGRAPH_BENCH_BENCH_UTIL_H_
+#define ALIGRAPH_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace aligraph {
+namespace bench {
+
+/// Parses --scale=<double> (default 1.0) and --seed=<uint64> from argv.
+struct BenchArgs {
+  double scale = 1.0;
+  uint64_t seed = 1;
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      if (std::strncmp(argv[i], "--scale=", 8) == 0) {
+        args.scale = std::atof(argv[i] + 8);
+      } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
+        args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      }
+    }
+    return args;
+  }
+};
+
+/// Prints a header banner naming the experiment.
+inline void Banner(const char* experiment, const char* claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper claim: %s\n", claim);
+  std::printf("==============================================================\n");
+}
+
+/// Prints one row of '|'-separated cells.
+inline void Row(const std::vector<std::string>& cells) {
+  for (const auto& c : cells) std::printf("| %-22s ", c.c_str());
+  std::printf("|\n");
+}
+
+inline std::string Fmt(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), fmt, v);
+  return buf;
+}
+
+inline std::string Pct(double v) { return Fmt("%.2f", v * 100.0); }
+inline std::string Ms(double v) { return Fmt("%.2f ms", v); }
+
+}  // namespace bench
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,60 @@
+/// \file dynamic_monitoring.cpp
+/// \brief Evolving-graph monitoring: watch a dynamic interaction graph,
+/// distinguish normal growth from abnormal burst links (fraud-like
+/// behaviour), and predict next-step evolution with the Evolving GNN.
+
+#include <cstdio>
+
+#include "algo/evolving.h"
+#include "gen/dynamic_gen.h"
+
+using namespace aligraph;
+
+int main() {
+  // A graph that grows normally by preferential attachment, plus rare
+  // bursts where one vertex suddenly floods the graph with edges.
+  gen::DynamicConfig config;
+  config.num_vertices = 2000;
+  config.num_timestamps = 5;
+  config.base_edges = 8000;
+  config.normal_edges_per_step = 1500;
+  config.bursts_per_step = 2;
+  config.burst_size = 250;
+  auto dynamic = std::move(gen::GenerateDynamic(config)).value();
+
+  for (Timestamp t = 1; t <= dynamic.num_timestamps(); ++t) {
+    size_t normal = 0, burst = 0;
+    for (const DynamicEdge& e : dynamic.DeltaAt(t)) {
+      (e.kind == EvolutionKind::kBurst ? burst : normal) += 1;
+    }
+    std::printf("t=%u: %zu edges total (+%zu normal, +%zu burst)\n", t,
+                dynamic.Snapshot(t).num_edges(), normal, burst);
+  }
+
+  // Evolving GNN: persistent GraphSAGE across snapshots + temporal
+  // recurrence; classifies candidate pairs into {no-edge, normal, burst}.
+  algo::EvolvingGnn::Config cfg;
+  cfg.gnn.dim = 32;
+  cfg.gnn.feature_dim = 16;
+  cfg.gnn.batches_per_epoch = 48;
+  algo::EvolvingGnn model(cfg);
+  auto scores = std::move(model.Run(dynamic)).value();
+
+  std::printf("\nnext-step evolution prediction (final transition):\n");
+  std::printf("  normal evolution: micro-F1 %.3f macro-F1 %.3f\n",
+              scores.normal.micro, scores.normal.macro);
+  std::printf("  burst change:     micro-F1 %.3f macro-F1 %.3f\n",
+              scores.burst.micro, scores.burst.macro);
+
+  // Compare against a static GraphSAGE that ignores the time dimension.
+  algo::EvolvingGnn::Config static_cfg = cfg;
+  static_cfg.embedder = algo::DynamicEmbedder::kStaticGraphSage;
+  algo::EvolvingGnn static_model(static_cfg);
+  auto static_scores = std::move(static_model.Run(dynamic)).value();
+  std::printf("\nstatic GraphSAGE baseline:\n");
+  std::printf("  normal evolution: micro-F1 %.3f macro-F1 %.3f\n",
+              static_scores.normal.micro, static_scores.normal.macro);
+  std::printf("  burst change:     micro-F1 %.3f macro-F1 %.3f\n",
+              static_scores.burst.micro, static_scores.burst.macro);
+  return 0;
+}

@@ -1,0 +1,80 @@
+/// \file recommendation.cpp
+/// \brief Product recommendation — the application the paper's introduction
+/// motivates. Trains GATNE on a synthetic Taobao AHG (multiplex behaviour
+/// edges + attributes), then recommends items per user by embedding score
+/// and reports hit-recall on held-out purchases.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "algo/gatne.h"
+#include "eval/link_prediction.h"
+#include "eval/metrics.h"
+#include "gen/taobao.h"
+
+using namespace aligraph;
+
+int main() {
+  auto graph = std::move(gen::Taobao(gen::TaobaoSmallConfig(0.08))).value();
+  std::printf("graph: %s\n", graph.ToString().c_str());
+
+  auto split = std::move(eval::SplitLinkPrediction(graph, 0.2, 7)).value();
+
+  // GATNE: base + edge-type-specific + attribute embeddings with
+  // self-attention over behaviour types.
+  algo::Gatne::Config config;
+  config.dim = 32;
+  config.spec_dim = 8;
+  config.att_dim = 8;
+  config.feature_dim = 24;
+  config.walks.walks_per_vertex = 3;
+  config.walks.walk_length = 10;
+  config.epochs = 2;
+  algo::Gatne gatne(config);
+  auto embeddings = std::move(gatne.Embed(split.train)).value();
+  std::printf("trained GATNE: %zu per-type embeddings of dim %zu\n",
+              gatne.per_type_embeddings().size(), embeddings.cols());
+
+  // Recommend: rank items for each test user by dot score under the "buy"
+  // type-specific embedding.
+  const EdgeType buy = graph.schema().EdgeTypeId("buy").value();
+  const nn::Matrix& buy_emb = gatne.per_type_embeddings()[buy];
+  const VertexType item_t = graph.schema().VertexTypeId("item").value();
+  const auto item_span = graph.VerticesOfType(item_t);
+  std::vector<VertexId> items(item_span.begin(), item_span.end());
+
+  std::vector<size_t> ranks;
+  for (const RawEdge& e : split.test_positive) {
+    const double positive =
+        eval::ScorePair(buy_emb, e.src, e.dst, eval::PairScorer::kDot);
+    size_t rank = 0;
+    for (VertexId item : items) {
+      if (item == e.dst) continue;
+      if (eval::ScorePair(buy_emb, e.src, item, eval::PairScorer::kDot) >
+          positive) {
+        ++rank;
+      }
+    }
+    ranks.push_back(rank);
+  }
+  for (size_t k : {10u, 20u, 50u}) {
+    std::printf("HR@%-3zu = %.4f\n", k, eval::HitRateAtK(ranks, k));
+  }
+
+  // Show a concrete recommendation list for one user.
+  const VertexId user = split.test_positive.empty()
+                            ? 0
+                            : split.test_positive.front().src;
+  std::vector<std::pair<double, VertexId>> scored;
+  for (VertexId item : items) {
+    scored.emplace_back(
+        eval::ScorePair(buy_emb, user, item, eval::PairScorer::kDot), item);
+  }
+  std::partial_sort(scored.begin(), scored.begin() + 5, scored.end(),
+                    [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::printf("top-5 items for user %u:", user);
+  for (int i = 0; i < 5; ++i) std::printf(" %u", scored[i].second);
+  std::printf("\n");
+  return 0;
+}

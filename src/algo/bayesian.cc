@@ -1,0 +1,106 @@
+#include "algo/bayesian.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace aligraph {
+namespace algo {
+
+Result<nn::Matrix> BayesianCorrection::Correct(
+    const nn::Matrix& base, const std::vector<VertexId>& vertices,
+    const std::vector<uint32_t>& groups) {
+  if (vertices.size() != groups.size()) {
+    return Status::InvalidArgument("vertices/groups size mismatch");
+  }
+  const size_t n = base.rows();
+  const size_t d = base.cols();
+  Rng rng(config_.seed);
+
+  // Bucket related vertices by knowledge group.
+  std::unordered_map<uint32_t, std::vector<VertexId>> by_group;
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    by_group[groups[i]].push_back(vertices[i]);
+  }
+  std::vector<std::vector<VertexId>> usable;
+  for (auto& [g, members] : by_group) {
+    if (members.size() >= 2) usable.push_back(std::move(members));
+  }
+
+  // Corrections (posterior means, updated by SGD) and the projection f.
+  nn::Matrix delta(n, d);
+  nn::Linear f(d, d, rng);
+  // Initialize f near identity so the correction starts from the base.
+  for (size_t i = 0; i < d; ++i) {
+    for (size_t j = 0; j < d; ++j) {
+      f.weight().value.At(i, j) = (i == j) ? 1.0f : 0.0f;
+    }
+  }
+  nn::Sgd opt(config_.learning_rate);
+  const float lr = config_.learning_rate;
+
+  if (!usable.empty()) {
+    nn::Matrix input(2, d);
+    for (uint32_t epoch = 0; epoch < config_.epochs; ++epoch) {
+      for (size_t p = 0; p < config_.pairs_per_epoch; ++p) {
+        const auto& members = usable[rng.Uniform(usable.size())];
+        const VertexId v1 = members[rng.Uniform(members.size())];
+        const VertexId v2 = members[rng.Uniform(members.size())];
+        if (v1 == v2) continue;
+        // input rows: h + delta for both entities.
+        for (int r = 0; r < 2; ++r) {
+          const VertexId v = r == 0 ? v1 : v2;
+          auto hb = base.Row(v);
+          auto dl = delta.Row(v);
+          auto dst = input.Row(r);
+          for (size_t j = 0; j < d; ++j) dst[j] = hb[j] + dl[j];
+        }
+        nn::Matrix z = f.ForwardAt(input);
+        // Loss: ||z1 - z2||^2 + anchor * sum_r ||z_r - h_r||^2. The anchor
+        // term rules out the collapsed solution f == 0.
+        nn::Matrix dz(2, d);
+        for (size_t j = 0; j < d; ++j) {
+          const float g = 2.0f * (z.At(0, j) - z.At(1, j)) /
+                          static_cast<float>(d);
+          dz.At(0, j) = g;
+          dz.At(1, j) = -g;
+        }
+        for (int r = 0; r < 2; ++r) {
+          const VertexId v = r == 0 ? v1 : v2;
+          auto hb = base.Row(v);
+          for (size_t j = 0; j < d; ++j) {
+            dz.At(r, j) += config_.anchor_strength * 2.0f *
+                           (z.At(r, j) - hb[j]) / static_cast<float>(d);
+          }
+        }
+        nn::Matrix dinput = f.BackwardAt(input, dz);
+        // Posterior-mean update with the Gaussian prior pulling delta to 0.
+        for (int r = 0; r < 2; ++r) {
+          const VertexId v = r == 0 ? v1 : v2;
+          auto dl = delta.Row(v);
+          auto di = dinput.Row(r);
+          for (size_t j = 0; j < d; ++j) {
+            dl[j] -= lr * (di[j] + config_.prior_strength * dl[j]);
+          }
+        }
+        f.Apply(opt);
+      }
+    }
+  }
+
+  // Corrected embeddings for every row.
+  nn::Matrix input_all(n, d);
+  for (size_t v = 0; v < n; ++v) {
+    auto hb = base.Row(v);
+    auto dl = delta.Row(v);
+    auto dst = input_all.Row(v);
+    for (size_t j = 0; j < d; ++j) dst[j] = hb[j] + dl[j];
+  }
+  return f.ForwardAt(input_all);
+}
+
+}  // namespace algo
+}  // namespace aligraph

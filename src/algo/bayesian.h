@@ -1,0 +1,62 @@
+/// \file bayesian.h
+/// \brief Bayesian GNN (Section 4.2): corrects task-specific embeddings by
+/// integrating knowledge-graph relations through a Bayesian generation
+/// model.
+///
+/// Given base embeddings h_v (from any GNN, GraphSAGE here) and knowledge
+/// relations (items sharing a brand or a category), the model learns a
+/// correction delta_v with a Gaussian prior N(0, s_v^2) and a projection f
+/// such that for related entities v1, v2 the projected corrected embeddings
+/// f(h_v1 + delta_v1) and f(h_v2 + delta_v2) are close (the second-order
+/// generation model of Equation 7 and the following paragraph). The
+/// posterior-mean correction mu_v is then applied: the corrected embedding
+/// is f(h_v + mu_v).
+
+#ifndef ALIGRAPH_ALGO_BAYESIAN_H_
+#define ALIGRAPH_ALGO_BAYESIAN_H_
+
+#include <vector>
+
+#include "algo/embedding_algorithm.h"
+#include "nn/layers.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief Knowledge relation granularity of the Table 12 experiment.
+enum class KnowledgeGranularity { kBrand, kCategory };
+
+/// \brief The Bayesian correction model over a fixed base embedding.
+class BayesianCorrection {
+ public:
+  struct Config {
+    uint32_t epochs = 3;
+    size_t pairs_per_epoch = 20000;
+    float learning_rate = 0.05f;
+    float prior_strength = 0.1f;  ///< Gaussian prior pull of delta to 0
+    /// Anchor of the projected embedding to the base embedding
+    /// (z ~ f(h + delta) must stay a *correction* of h, Equation 7);
+    /// without it the trivial solution f = 0 satisfies the pair loss.
+    float anchor_strength = 0.5f;
+    uint64_t seed = 61;
+  };
+
+  BayesianCorrection() = default;
+  explicit BayesianCorrection(Config config) : config_(std::move(config)) {}
+
+  /// Learns corrections for the vertices in `groups`: each groups[i] is the
+  /// knowledge-group id of vertex `vertices[i]`; vertices sharing a group
+  /// are related. Returns corrected embeddings f(h_v + mu_v) for ALL rows
+  /// of `base` (vertices without a group keep f(h_v)).
+  Result<nn::Matrix> Correct(const nn::Matrix& base,
+                             const std::vector<VertexId>& vertices,
+                             const std::vector<uint32_t>& groups);
+
+ private:
+  Config config_;
+};
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_BAYESIAN_H_

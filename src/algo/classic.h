@@ -1,0 +1,78 @@
+/// \file classic.h
+/// \brief Classic homogeneous graph-embedding baselines (Table 1, category
+/// C1): DeepWalk, Node2Vec and LINE. All three ignore vertex/edge types and
+/// attributes, exactly as the paper's comparison does.
+
+#ifndef ALIGRAPH_ALGO_CLASSIC_H_
+#define ALIGRAPH_ALGO_CLASSIC_H_
+
+#include "algo/embedding_algorithm.h"
+#include "nn/skipgram.h"
+#include "nn/walks.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief DeepWalk: uniform random walks + skip-gram with negative sampling.
+class DeepWalk : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::WalkConfig walks;
+    nn::SkipGramConfig sgns;
+  };
+
+  DeepWalk() = default;
+  explicit DeepWalk(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "deepwalk"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief Node2Vec: second-order biased walks (return parameter p, in-out
+/// parameter q) + skip-gram.
+class Node2Vec : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::WalkConfig walks;
+    nn::SkipGramConfig sgns;
+    double p = 1.0;
+    double q = 0.5;
+  };
+
+  Node2Vec() = default;
+  explicit Node2Vec(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "node2vec"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief LINE: first-order proximity (SGNS on observed edges) plus
+/// second-order proximity (SGNS with a separate context table), embeddings
+/// concatenated as in the original paper.
+class Line : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    size_t dim = 32;          ///< total dimension (split across both orders)
+    uint32_t epochs = 2;
+    uint32_t negatives = 4;
+    float learning_rate = 0.05f;
+    uint64_t seed = 21;
+  };
+
+  Line() = default;
+  explicit Line(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "line"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_CLASSIC_H_

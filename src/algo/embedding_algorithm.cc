@@ -1,0 +1,59 @@
+#include "algo/embedding_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aligraph {
+namespace algo {
+
+nn::Matrix BuildFeatureMatrix(const AttributedGraph& graph, size_t dim) {
+  nn::Matrix x(graph.num_vertices(), dim);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto feats = graph.VertexFeatures(v);
+    auto row = x.Row(v);
+    if (!feats.empty()) {
+      const size_t take = std::min(dim, feats.size());
+      std::copy(feats.begin(), feats.begin() + take, row.begin());
+    }
+    if (feats.size() < dim) {
+      // Degree-derived tail: log-degree plus a type indicator keeps
+      // structurally different vertices separable without attributes.
+      const size_t base = feats.size();
+      row[base] = std::log1p(static_cast<float>(graph.OutDegree(v))) * 0.1f;
+      if (base + 1 < dim) {
+        row[base + 1] =
+            std::log1p(static_cast<float>(graph.InDegree(v))) * 0.1f;
+      }
+      if (base + 2 < dim) {
+        row[base + 2] = static_cast<float>(graph.vertex_type(v)) * 0.5f;
+      }
+    }
+  }
+
+  // Standardize columns (mean 0, unit variance). Raw attribute vectors
+  // share a large common component; without centering, every embedding
+  // collapses toward that common direction and pair scores carry no signal.
+  const size_t n = x.rows();
+  if (n > 1) {
+    for (size_t j = 0; j < dim; ++j) {
+      double mean = 0;
+      for (size_t i = 0; i < n; ++i) mean += x.At(i, j);
+      mean /= static_cast<double>(n);
+      double var = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const double d = x.At(i, j) - mean;
+        var += d * d;
+      }
+      var /= static_cast<double>(n);
+      const float inv_std =
+          var > 1e-8 ? static_cast<float>(1.0 / std::sqrt(var)) : 0.0f;
+      for (size_t i = 0; i < n; ++i) {
+        x.At(i, j) = (x.At(i, j) - static_cast<float>(mean)) * inv_std;
+      }
+    }
+  }
+  return x;
+}
+
+}  // namespace algo
+}  // namespace aligraph

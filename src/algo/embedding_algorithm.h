@@ -1,0 +1,39 @@
+/// \file embedding_algorithm.h
+/// \brief Common interface of the algorithm layer: every model consumes an
+/// AttributedGraph and produces one d-dimensional embedding per vertex
+/// (vertex-level embedding, the paper's problem definition in Section 2).
+
+#ifndef ALIGRAPH_ALGO_EMBEDDING_ALGORITHM_H_
+#define ALIGRAPH_ALGO_EMBEDDING_ALGORITHM_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "nn/matrix.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief Interface implemented by every embedding model in this layer,
+/// baseline or in-house. Models with richer outputs (per-type embeddings,
+/// per-timestamp embeddings) expose extra accessors on their concrete
+/// classes; Embed() returns their primary vertex embedding.
+class EmbeddingAlgorithm {
+ public:
+  virtual ~EmbeddingAlgorithm() = default;
+  virtual std::string name() const = 0;
+
+  /// Trains on the graph and returns an [n, d] embedding matrix.
+  virtual Result<nn::Matrix> Embed(const AttributedGraph& graph) = 0;
+};
+
+/// Builds a feature matrix for GNN input: the vertex attribute vector
+/// truncated / zero-padded to `dim`; vertices without attributes get
+/// degree-derived features so every model has a usable signal.
+nn::Matrix BuildFeatureMatrix(const AttributedGraph& graph, size_t dim);
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_EMBEDDING_ALGORITHM_H_

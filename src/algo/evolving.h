@@ -1,0 +1,77 @@
+/// \file evolving.h
+/// \brief Evolving GNN (Section 4.2): vertex representations over a dynamic
+/// graph G(1)..G(T), distinguishing *normal* evolution from *burst* links.
+///
+/// The model trains a GraphSAGE whose weights persist across snapshots
+/// (interleaved training), keeps a temporal state per vertex via a gated
+/// recurrence over the per-snapshot embeddings (the paper's RNN component),
+/// and learns a classifier over candidate pairs that predicts the next
+/// snapshot's evolution class {no-edge, normal, burst} from both current and
+/// temporal features.
+///
+/// The TNE comparator (temporal network embedding) smooths per-snapshot
+/// DeepWalk embeddings across time; the static GraphSAGE comparator embeds
+/// each snapshot independently, as the paper runs its static competitors.
+
+#ifndef ALIGRAPH_ALGO_EVOLVING_H_
+#define ALIGRAPH_ALGO_EVOLVING_H_
+
+#include <vector>
+
+#include "algo/gnn.h"
+#include "eval/metrics.h"
+#include "graph/dynamic_graph.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief Evolution-class labels for the Table 11 task.
+enum class EvolutionClass : uint32_t {
+  kNoEdge = 0,
+  kNormal = 1,
+  kBurst = 2,
+};
+
+/// \brief Per-scenario scores of the Table 11 multi-class link prediction.
+struct EvolvingScores {
+  eval::MultiClassF1 normal;  ///< {no-edge, normal} test subset
+  eval::MultiClassF1 burst;   ///< {no-edge, burst} test subset
+};
+
+/// \brief How pair features are produced for the evolution classifier.
+enum class DynamicEmbedder {
+  kEvolvingGnn,      ///< persistent GraphSAGE + temporal recurrence
+  kStaticGraphSage,  ///< GraphSAGE on the last training snapshot only
+  kTne,              ///< temporally smoothed DeepWalk per snapshot
+};
+
+/// \brief Trains the chosen embedder over the dynamic graph, fits the
+/// evolution classifier on transitions 1..T-2, and scores the transition to
+/// snapshot T. The dynamic graph needs at least 3 timestamps.
+class EvolvingGnn {
+ public:
+  struct Config {
+    GnnConfig gnn;
+    DynamicEmbedder embedder = DynamicEmbedder::kEvolvingGnn;
+    float temporal_gate = 0.7f;  ///< recurrence mix of old state vs new
+    uint32_t classifier_epochs = 6;
+    float classifier_lr = 0.1f;
+    size_t negatives_per_positive = 2;
+    uint64_t seed = 59;
+  };
+
+  EvolvingGnn() = default;
+  explicit EvolvingGnn(Config config) : config_(std::move(config)) {}
+
+  std::string name() const;
+
+  Result<EvolvingScores> Run(const DynamicGraph& dynamic);
+
+ private:
+  Config config_;
+};
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_EVOLVING_H_

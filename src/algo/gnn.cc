@@ -1,0 +1,492 @@
+#include "algo/gnn.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numeric>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace aligraph {
+namespace algo {
+namespace {
+
+inline float SigmoidF(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+// Gathers feature rows for a vertex list.
+nn::Matrix Gather(const nn::Matrix& features, std::span<const VertexId> ids) {
+  nn::Matrix out(ids.size(), features.cols());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto src = features.Row(ids[i]);
+    auto dst = out.Row(i);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  return out;
+}
+
+// Mean aggregation [n*fan, d] -> [n, d].
+nn::Matrix MeanAgg(const nn::Matrix& neigh, size_t fan) {
+  const size_t n = neigh.rows() / fan;
+  nn::Matrix out(n, neigh.cols());
+  const float inv = 1.0f / static_cast<float>(fan);
+  for (size_t i = 0; i < n; ++i) {
+    auto dst = out.Row(i);
+    for (size_t f = 0; f < fan; ++f) nn::Axpy(inv, neigh.Row(i * fan + f), dst);
+  }
+  return out;
+}
+
+nn::Matrix MeanAggBackward(const nn::Matrix& grad, size_t fan) {
+  nn::Matrix out(grad.rows() * fan, grad.cols());
+  const float inv = 1.0f / static_cast<float>(fan);
+  for (size_t i = 0; i < grad.rows(); ++i) {
+    auto src = grad.Row(i);
+    for (size_t f = 0; f < fan; ++f) nn::Axpy(inv, src, out.Row(i * fan + f));
+  }
+  return out;
+}
+
+}  // namespace
+
+nn::Matrix SageLayer::Forward(const nn::Matrix& self,
+                              const nn::Matrix& neighbors, size_t fan,
+                              Cache* cache) {
+  ALIGRAPH_CHECK_EQ(neighbors.rows(), self.rows() * fan);
+  nn::Matrix agg;
+  if (maxpool_) {
+    const size_t n = self.rows();
+    const size_t d = neighbors.cols();
+    agg = nn::Matrix(n, d);
+    cache->argmax.assign(n * d, 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto dst = agg.Row(i);
+      for (size_t j = 0; j < d; ++j) dst[j] = neighbors.At(i * fan, j);
+      for (size_t f = 1; f < fan; ++f) {
+        auto src = neighbors.Row(i * fan + f);
+        for (size_t j = 0; j < d; ++j) {
+          if (src[j] > dst[j]) {
+            dst[j] = src[j];
+            cache->argmax[i * d + j] = static_cast<uint32_t>(f);
+          }
+        }
+      }
+    }
+  } else {
+    agg = MeanAgg(neighbors, fan);
+  }
+  cache->fan = fan;
+  cache->input = nn::ConcatCols(self, agg);
+  nn::Matrix y = linear_.ForwardAt(cache->input);
+  if (relu_) nn::ReluInPlace(y);
+  cache->output = y;
+  return y;
+}
+
+std::pair<nn::Matrix, nn::Matrix> SageLayer::Backward(
+    const Cache& cache, const nn::Matrix& grad_out) {
+  const nn::Matrix relu_grad =
+      relu_ ? nn::ReluBackward(cache.output, grad_out) : grad_out;
+  const nn::Matrix dinput = linear_.BackwardAt(cache.input, relu_grad);
+  const size_t n = dinput.rows();
+  nn::Matrix dself(n, in_dim_);
+  nn::Matrix dagg(n, in_dim_);
+  for (size_t i = 0; i < n; ++i) {
+    auto src = dinput.Row(i);
+    auto s = dself.Row(i);
+    auto a = dagg.Row(i);
+    for (size_t j = 0; j < in_dim_; ++j) {
+      s[j] = src[j];
+      a[j] = src[in_dim_ + j];
+    }
+  }
+  nn::Matrix dneigh;
+  if (maxpool_) {
+    dneigh = nn::Matrix(n * cache.fan, in_dim_);
+    for (size_t i = 0; i < n; ++i) {
+      auto src = dagg.Row(i);
+      for (size_t j = 0; j < in_dim_; ++j) {
+        dneigh.At(i * cache.fan + cache.argmax[i * in_dim_ + j], j) = src[j];
+      }
+    }
+  } else {
+    dneigh = MeanAggBackward(dagg, cache.fan);
+  }
+  return {std::move(dself), std::move(dneigh)};
+}
+
+Result<nn::Matrix> GraphSage::Embed(const AttributedGraph& graph) {
+  const nn::Matrix features =
+      BuildFeatureMatrix(graph, config_.feature_dim);
+  return EmbedWithFeatures(graph, features);
+}
+
+SageTrainer::SageTrainer(const GnnConfig& config, size_t feature_dim)
+    : config_(config),
+      rng_(config.seed),
+      layer1_(feature_dim, config.dim, config.aggregator == "maxpool", rng_),
+      layer2_(config.dim, config.dim, config.aggregator == "maxpool", rng_,
+              /*relu=*/false),
+      opt_(config.learning_rate) {}
+
+void SageTrainer::TrainEpochs(const AttributedGraph& graph,
+                              const nn::Matrix& features, uint32_t epochs) {
+  Rng& rng = rng_;
+  SageLayer& layer1 = layer1_;
+  SageLayer& layer2 = layer2_;
+  nn::Adam& opt = opt_;
+
+  std::vector<VertexId> all(graph.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  NegativeSampler negatives(graph, all, 0.75, config_.seed + 2);
+  NeighborhoodSampler hood(NeighborStrategy::kUniform, config_.seed + 3);
+  LocalNeighborSource source(graph);
+
+  const uint32_t f1 = config_.fanout1;
+  const uint32_t f2 = config_.fanout2;
+  const size_t B = config_.batch_size;
+  const uint32_t k = config_.negatives;
+
+  for (uint32_t epoch = 0; epoch < epochs; ++epoch) {
+    for (size_t batch = 0; batch < config_.batches_per_epoch; ++batch) {
+      // Positive pairs from random edges; negatives per pair.
+      std::vector<VertexId> roots;
+      roots.reserve(B * (2 + k));
+      std::vector<std::pair<size_t, size_t>> pos_pairs;  // index into roots
+      std::vector<std::pair<size_t, size_t>> neg_pairs;
+      size_t made = 0;
+      size_t guard = 0;
+      while (made < B && guard < B * 16 + 64) {
+        ++guard;
+        const VertexId u = all[rng.Uniform(all.size())];
+        const auto nbs = graph.OutNeighbors(u);
+        if (nbs.empty()) continue;
+        const VertexId v = nbs[rng.Uniform(nbs.size())].dst;
+        const size_t iu = roots.size();
+        roots.push_back(u);
+        const size_t iv = roots.size();
+        roots.push_back(v);
+        pos_pairs.emplace_back(iu, iv);
+        for (VertexId ng : negatives.Sample(k, v)) {
+          neg_pairs.emplace_back(iu, roots.size());
+          roots.push_back(ng);
+        }
+        ++made;
+      }
+      if (roots.empty()) continue;
+
+      // Sampled 2-hop tree and feature gathering.
+      const std::vector<uint32_t> fans{f1, f2};
+      const NeighborhoodSample tree = hood.Sample(
+          source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+      const nn::Matrix x_roots = Gather(features, roots);
+      const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
+      const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
+
+      SageLayer::Cache c_roots, c_h1, c_top;
+      const nn::Matrix h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
+      const nn::Matrix h1_h1 = layer1.Forward(x_h1, x_h2, f2, &c_h1);
+      const nn::Matrix h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+
+      // Edge loss and gradient on h2.
+      nn::Matrix dh2(h2.rows(), h2.cols());
+      auto pair_grad = [&](size_t a, size_t b, float label) {
+        const float g =
+            (SigmoidF(nn::Dot(h2.Row(a), h2.Row(b))) - label) /
+            static_cast<float>(pos_pairs.size() + neg_pairs.size());
+        nn::Axpy(g, h2.Row(b), dh2.Row(a));
+        nn::Axpy(g, h2.Row(a), dh2.Row(b));
+      };
+      for (const auto& [a, b] : pos_pairs) pair_grad(a, b, 1.0f);
+      for (const auto& [a, b] : neg_pairs) pair_grad(a, b, 0.0f);
+
+      // Backward through the tree; feature gradients are discarded.
+      auto [dh1_roots, dh1_h1] = layer2.Backward(c_top, dh2);
+      layer1.Backward(c_roots, dh1_roots);
+      layer1.Backward(c_h1, dh1_h1);
+      layer1.Apply(opt);
+      layer2.Apply(opt);
+    }
+  }
+}
+
+nn::Matrix SageTrainer::Infer(const AttributedGraph& graph,
+                              const nn::Matrix& features) {
+  SageLayer& layer1 = layer1_;
+  SageLayer& layer2 = layer2_;
+  LocalNeighborSource source(graph);
+  const uint32_t f1 = config_.fanout1;
+  const uint32_t f2 = config_.fanout2;
+
+  // Inference: one deterministic sampled pass over all vertices, chunked.
+  nn::Matrix out(graph.num_vertices(), config_.dim);
+  NeighborhoodSampler infer_hood(NeighborStrategy::kUniform, config_.seed + 7);
+  const size_t chunk = 512;
+  for (VertexId begin = 0; begin < graph.num_vertices(); begin += chunk) {
+    const VertexId end =
+        std::min<VertexId>(begin + chunk, graph.num_vertices());
+    std::vector<VertexId> roots(end - begin);
+    std::iota(roots.begin(), roots.end(), begin);
+    const std::vector<uint32_t> fans{f1, f2};
+    const NeighborhoodSample tree = infer_hood.Sample(
+        source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+    const nn::Matrix x_roots = Gather(features, roots);
+    const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
+    const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
+    SageLayer::Cache c_roots, c_h1, c_top;
+    const nn::Matrix h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
+    const nn::Matrix h1_h1 = layer1.Forward(x_h1, x_h2, f2, &c_h1);
+    nn::Matrix h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+    nn::L2NormalizeRows(h2);
+    for (size_t i = 0; i < h2.rows(); ++i) {
+      auto src = h2.Row(i);
+      auto dst = out.Row(begin + i);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+  return out;
+}
+
+Result<nn::Matrix> GraphSage::EmbedWithFeatures(const AttributedGraph& graph,
+                                                const nn::Matrix& features) {
+  if (graph.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  if (features.rows() != graph.num_vertices()) {
+    return Status::InvalidArgument("feature matrix row count mismatch");
+  }
+  SageTrainer trainer(config_, features.cols());
+  trainer.TrainEpochs(graph, features, config_.epochs);
+  return trainer.Infer(graph, features);
+}
+
+std::string Gcn::name() const {
+  switch (config_.mode) {
+    case GcnMode::kFull:
+      return "gcn";
+    case GcnMode::kFastGcn:
+      return "fastgcn";
+    case GcnMode::kAsGcn:
+      return "as-gcn";
+  }
+  return "gcn";
+}
+
+Result<nn::Matrix> Gcn::Embed(const AttributedGraph& graph) {
+  if (graph.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  const GnnConfig& base = config_.base;
+  const VertexId n = graph.num_vertices();
+  const nn::Matrix x = BuildFeatureMatrix(graph, base.feature_dim);
+  Rng rng(base.seed);
+  nn::Linear w1(base.feature_dim, base.dim, rng);
+  nn::Linear w2(base.dim, base.dim, rng);
+  nn::Adam opt(base.learning_rate);
+
+  // Support sets per layer (Fast/AS modes); full mode uses every vertex.
+  const bool sampled = config_.mode != GcnMode::kFull;
+  std::vector<double> degree_weight(n);
+  for (VertexId v = 0; v < n; ++v) {
+    degree_weight[v] = static_cast<double>(graph.OutDegree(v) + 1);
+  }
+  AliasTable degree_table(degree_weight);
+
+  // Row-normalized propagation with self loops restricted to a support set
+  // (empty support = all vertices). The importance-sampling estimator
+  // rescales each sampled contribution by 1 / (s * q(u)).
+  auto propagate = [&](const nn::Matrix& h,
+                       const std::unordered_set<VertexId>* support,
+                       double support_scale) {
+    nn::Matrix out(n, h.cols());
+    for (VertexId v = 0; v < n; ++v) {
+      auto dst = out.Row(v);
+      const auto nbs = graph.OutNeighbors(v);
+      const float inv = 1.0f / static_cast<float>(nbs.size() + 1);
+      nn::Axpy(inv, h.Row(v), dst);  // self loop always retained
+      for (const Neighbor& nb : nbs) {
+        if (support != nullptr && support->count(nb.dst) == 0) continue;
+        const float scale =
+            support == nullptr
+                ? inv
+                : inv * static_cast<float>(support_scale /
+                                           degree_weight[nb.dst]);
+        nn::Axpy(scale, h.Row(nb.dst), dst);
+      }
+    }
+    return out;
+  };
+  // Transposed propagation for the backward pass (same support).
+  auto propagate_t = [&](const nn::Matrix& g,
+                         const std::unordered_set<VertexId>* support,
+                         double support_scale) {
+    nn::Matrix out(n, g.cols());
+    for (VertexId v = 0; v < n; ++v) {
+      const auto nbs = graph.OutNeighbors(v);
+      const float inv = 1.0f / static_cast<float>(nbs.size() + 1);
+      nn::Axpy(inv, g.Row(v), out.Row(v));
+      for (const Neighbor& nb : nbs) {
+        if (support != nullptr && support->count(nb.dst) == 0) continue;
+        const float scale =
+            support == nullptr
+                ? inv
+                : inv * static_cast<float>(support_scale /
+                                           degree_weight[nb.dst]);
+        nn::Axpy(scale, g.Row(v), out.Row(nb.dst));
+      }
+    }
+    return out;
+  };
+
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  NegativeSampler negatives(graph, all, 0.75, base.seed + 2);
+
+  double total_degree = 0;
+  for (double w : degree_weight) total_degree += w;
+
+  for (uint32_t epoch = 0; epoch < base.epochs; ++epoch) {
+    for (size_t step = 0; step < base.batches_per_epoch / 8 + 1; ++step) {
+      // Layer support sampling.
+      std::unordered_set<VertexId> support;
+      const std::unordered_set<VertexId>* support_ptr = nullptr;
+      double support_scale = 1.0;
+      if (sampled) {
+        if (config_.mode == GcnMode::kFastGcn) {
+          // Independent importance sampling over all vertices.
+          for (size_t i = 0; i < config_.layer_samples; ++i) {
+            support.insert(
+                static_cast<VertexId>(degree_table.Sample(rng)));
+          }
+        } else {
+          // AS-GCN: sample within the 1-hop neighborhood of a random batch,
+          // conditioning the support on where it is actually needed.
+          std::vector<VertexId> cand;
+          for (size_t i = 0; i < base.batch_size; ++i) {
+            const VertexId v = all[rng.Uniform(all.size())];
+            for (const Neighbor& nb : graph.OutNeighbors(v)) {
+              cand.push_back(nb.dst);
+            }
+          }
+          if (cand.empty()) cand = all;
+          for (size_t i = 0;
+               i < config_.layer_samples && i < cand.size() * 4; ++i) {
+            support.insert(cand[rng.Uniform(cand.size())]);
+          }
+        }
+        support_ptr = &support;
+        support_scale =
+            total_degree / static_cast<double>(n) *
+            static_cast<double>(support.size()) / config_.layer_samples;
+      }
+
+      // Forward.
+      const nn::Matrix px = propagate(x, support_ptr, support_scale);
+      nn::Matrix h1 = w1.ForwardAt(px);
+      nn::ReluInPlace(h1);
+      const nn::Matrix h1_act = h1;
+      const nn::Matrix ph1 = propagate(h1_act, support_ptr, support_scale);
+      const nn::Matrix h2 = w2.ForwardAt(ph1);
+
+      // Sampled-edge loss on h2.
+      nn::Matrix dh2(h2.rows(), h2.cols());
+      const size_t pairs = base.batch_size;
+      for (size_t i = 0; i < pairs; ++i) {
+        const VertexId u = all[rng.Uniform(all.size())];
+        const auto nbs = graph.OutNeighbors(u);
+        if (nbs.empty()) continue;
+        const VertexId v = nbs[rng.Uniform(nbs.size())].dst;
+        auto grad_pair = [&](VertexId a, VertexId b, float label) {
+          const float g = (SigmoidF(nn::Dot(h2.Row(a), h2.Row(b))) - label) /
+                          static_cast<float>(pairs * (1 + base.negatives));
+          nn::Axpy(g, h2.Row(b), dh2.Row(a));
+          nn::Axpy(g, h2.Row(a), dh2.Row(b));
+        };
+        grad_pair(u, v, 1.0f);
+        for (VertexId ng : negatives.Sample(base.negatives, v)) {
+          grad_pair(u, ng, 0.0f);
+        }
+      }
+
+      // Backward.
+      const nn::Matrix dph1 = w2.BackwardAt(ph1, dh2);
+      const nn::Matrix dh1 = propagate_t(dph1, support_ptr, support_scale);
+      const nn::Matrix dh1_pre = nn::ReluBackward(h1_act, dh1);
+      w1.BackwardAt(px, dh1_pre);
+      w1.Apply(opt);
+      w2.Apply(opt);
+    }
+  }
+
+  // Inference is always exact full propagation with the trained weights.
+  const nn::Matrix px = propagate(x, nullptr, 1.0);
+  nn::Matrix h1 = w1.ForwardAt(px);
+  nn::ReluInPlace(h1);
+  const nn::Matrix ph1 = propagate(h1, nullptr, 1.0);
+  nn::Matrix h2 = w2.ForwardAt(ph1);
+  nn::L2NormalizeRows(h2);
+  return h2;
+}
+
+Result<nn::Matrix> Struc2Vec::Embed(const AttributedGraph& graph) {
+  const VertexId n = graph.num_vertices();
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  Rng rng(config_.sgns.seed + 41);
+
+  // Structural signature: (log out-degree, log in-degree, log mean neighbor
+  // degree) — a compact stand-in for struc2vec's degree-sequence rings.
+  std::vector<std::array<float, 3>> sig(n);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbs = graph.OutNeighbors(v);
+    double mean_nb = 0;
+    for (const Neighbor& nb : nbs) {
+      mean_nb += static_cast<double>(graph.OutDegree(nb.dst));
+    }
+    if (!nbs.empty()) mean_nb /= static_cast<double>(nbs.size());
+    sig[v] = {std::log1p(static_cast<float>(graph.OutDegree(v))),
+              std::log1p(static_cast<float>(graph.InDegree(v))),
+              std::log1p(static_cast<float>(mean_nb))};
+  }
+  auto dist = [&](VertexId a, VertexId b) {
+    float acc = 0;
+    for (int i = 0; i < 3; ++i) {
+      const float d = sig[a][i] - sig[b][i];
+      acc += d * d;
+    }
+    return acc;
+  };
+
+  // Structural neighbor lists: nearest similar_k among sampled candidates.
+  std::vector<std::vector<VertexId>> similar(n);
+  for (VertexId v = 0; v < n; ++v) {
+    std::vector<std::pair<float, VertexId>> cand;
+    cand.reserve(config_.candidates);
+    for (size_t c = 0; c < config_.candidates; ++c) {
+      const VertexId u = static_cast<VertexId>(rng.Uniform(n));
+      if (u == v) continue;
+      cand.emplace_back(dist(v, u), u);
+    }
+    const size_t k = std::min(config_.similar_k, cand.size());
+    std::partial_sort(cand.begin(), cand.begin() + k, cand.end());
+    for (size_t i = 0; i < k; ++i) similar[v].push_back(cand[i].second);
+  }
+
+  // Walks over the similarity lists + SGNS.
+  std::vector<std::vector<VertexId>> walks;
+  for (uint32_t w = 0; w < config_.walks.walks_per_vertex; ++w) {
+    for (VertexId start = 0; start < n; ++start) {
+      std::vector<VertexId> walk{start};
+      while (walk.size() < config_.walks.walk_length) {
+        const auto& list = similar[walk.back()];
+        if (list.empty()) break;
+        walk.push_back(list[rng.Uniform(list.size())]);
+      }
+      if (walk.size() >= 2) walks.push_back(std::move(walk));
+    }
+  }
+  nn::SkipGramModel model(n, config_.sgns);
+  std::vector<VertexId> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  NegativeSampler negs(graph, all, 0.75, config_.sgns.seed);
+  model.TrainWalks(walks, negs);
+  return model.embeddings().matrix();
+}
+
+}  // namespace algo
+}  // namespace aligraph

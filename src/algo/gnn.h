@@ -1,0 +1,171 @@
+/// \file gnn.h
+/// \brief The GNN framework of Algorithm 1 and its classic instantiations:
+/// GraphSAGE (mini-batch, sampled neighborhoods), GCN (full-batch), FastGCN
+/// (independent layer-wise importance sampling), AS-GCN (adaptive layer-wise
+/// sampling conditioned on the batch) and a structural-identity baseline
+/// (Struc2Vec, simplified).
+///
+/// All models train unsupervised with the edge-based objective of the
+/// GraphSAGE paper: connected pairs score high, sampled negatives score low.
+
+#ifndef ALIGRAPH_ALGO_GNN_H_
+#define ALIGRAPH_ALGO_GNN_H_
+
+#include <string>
+#include <vector>
+
+#include "algo/embedding_algorithm.h"
+#include "nn/layers.h"
+#include "nn/skipgram.h"
+#include "nn/walks.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief Shared hyper-parameters of the GNN family.
+struct GnnConfig {
+  size_t dim = 32;            ///< embedding dimension d
+  size_t feature_dim = 32;    ///< input feature dimension
+  uint32_t fanout1 = 5;       ///< neighbors sampled at hop 1
+  uint32_t fanout2 = 5;       ///< neighbors sampled at hop 2
+  uint32_t epochs = 1;
+  size_t batch_size = 64;
+  size_t batches_per_epoch = 64;
+  uint32_t negatives = 2;
+  float learning_rate = 0.01f;
+  std::string aggregator = "mean";  ///< "mean" or "maxpool"
+  uint64_t seed = 31;
+};
+
+/// \brief One GraphSAGE layer h' = ReLU(W [self || AGG(neigh)] + b) with an
+/// explicit cache so the same layer can be applied at several tree levels
+/// within one training step.
+class SageLayer {
+ public:
+  /// \param relu apply ReLU to the output. The top layer of a stack should
+  ///        pass false: a ReLU there collapses the unsupervised edge
+  ///        objective into dead units (scores need both signs).
+  SageLayer(size_t in_dim, size_t out_dim, bool maxpool, Rng& rng,
+            bool relu = true)
+      : linear_(2 * in_dim, out_dim, rng), in_dim_(in_dim),
+        maxpool_(maxpool), relu_(relu) {}
+
+  struct Cache {
+    nn::Matrix input;             // [n, 2*in_dim] concat(self, agg)
+    nn::Matrix output;            // [n, out_dim] post-ReLU
+    std::vector<uint32_t> argmax;  // maxpool winners
+    size_t fan = 1;
+  };
+
+  /// neighbors is [n*fan, in_dim]; self is [n, in_dim].
+  nn::Matrix Forward(const nn::Matrix& self, const nn::Matrix& neighbors,
+                     size_t fan, Cache* cache);
+
+  /// Returns (dSelf, dNeighbors).
+  std::pair<nn::Matrix, nn::Matrix> Backward(const Cache& cache,
+                                             const nn::Matrix& grad_out);
+
+  void Apply(nn::Optimizer& opt) { linear_.Apply(opt); }
+  size_t out_dim() const { return linear_.out_dim(); }
+
+ private:
+  nn::Linear linear_;
+  size_t in_dim_;
+  bool maxpool_;
+  bool relu_;
+};
+
+/// \brief Reusable two-layer GraphSAGE trainer whose weights persist across
+/// calls — the building block of GraphSage itself and of models that train
+/// over a sequence of graphs (Evolving GNN warm-starts every snapshot from
+/// the previous one's weights).
+class SageTrainer {
+ public:
+  SageTrainer(const GnnConfig& config, size_t feature_dim);
+
+  /// Runs `epochs` epochs of unsupervised edge-loss training.
+  void TrainEpochs(const AttributedGraph& graph, const nn::Matrix& features,
+                   uint32_t epochs);
+
+  /// Embeds every vertex with one deterministic sampled pass.
+  nn::Matrix Infer(const AttributedGraph& graph, const nn::Matrix& features);
+
+ private:
+  GnnConfig config_;
+  Rng rng_;
+  SageLayer layer1_;
+  SageLayer layer2_;
+  nn::Adam opt_;
+};
+
+/// \brief Two-layer GraphSAGE with node-wise neighbor sampling.
+class GraphSage : public EmbeddingAlgorithm {
+ public:
+  GraphSage() = default;
+  explicit GraphSage(GnnConfig config) : config_(std::move(config)) {}
+  std::string name() const override { return "graphsage"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+  /// Embeds with externally supplied initial features (used by models that
+  /// stack GraphSAGE, e.g. Evolving GNN warm starts).
+  Result<nn::Matrix> EmbedWithFeatures(const AttributedGraph& graph,
+                                       const nn::Matrix& features);
+
+ private:
+  GnnConfig config_;
+};
+
+/// \brief Propagation mode of the convolutional family.
+enum class GcnMode {
+  kFull,     ///< exact full-batch propagation (GCN)
+  kFastGcn,  ///< layer-wise independent importance sampling
+  kAsGcn,    ///< layer-wise sampling restricted to the batch's neighborhood
+};
+
+/// \brief Two-layer graph convolutional network over the row-normalized
+/// adjacency with self-loops.
+class Gcn : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    GnnConfig base;
+    GcnMode mode = GcnMode::kFull;
+    size_t layer_samples = 128;  ///< sampled support per layer (Fast/AS)
+  };
+
+  Gcn() = default;
+  explicit Gcn(Config config) : config_(std::move(config)) {}
+  std::string name() const override;
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief Simplified Struc2Vec: vertices walk over a structural-similarity
+/// neighbor list (nearest by k-hop degree signature among sampled
+/// candidates), then SGNS. Captures structural identity rather than
+/// proximity. Candidate scan is O(n * candidates) — authentically the
+/// slowest baseline, as in the paper's Table 7.
+class Struc2Vec : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::SkipGramConfig sgns;
+    nn::WalkConfig walks;
+    size_t candidates = 256;  ///< candidate sample per vertex
+    size_t similar_k = 8;     ///< structural neighbor list size
+  };
+
+  Struc2Vec() = default;
+  explicit Struc2Vec(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "struc2vec"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_GNN_H_

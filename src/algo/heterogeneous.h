@@ -1,0 +1,140 @@
+/// \file heterogeneous.h
+/// \brief Heterogeneous / multiplex embedding baselines of Table 8:
+/// Metapath2Vec, PMNE (three variants), MVE and MNE, plus the attributed
+/// baseline ANRL.
+
+#ifndef ALIGRAPH_ALGO_HETEROGENEOUS_H_
+#define ALIGRAPH_ALGO_HETEROGENEOUS_H_
+
+#include <vector>
+
+#include "algo/embedding_algorithm.h"
+#include "nn/layers.h"
+#include "nn/skipgram.h"
+#include "nn/walks.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief Metapath2Vec: metapath-constrained walks + skip-gram. The default
+/// metapath alternates over all edge types in order.
+class Metapath2Vec : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::WalkConfig walks;
+    nn::SkipGramConfig sgns;
+    std::vector<EdgeType> metapath;  ///< empty = cycle over all edge types
+  };
+
+  Metapath2Vec() = default;
+  explicit Metapath2Vec(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "metapath2vec"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief PMNE's three projections of a multiplex network (Liu et al.):
+/// kNetwork merges all layers and runs one embedding; kResults embeds each
+/// layer and concatenates; kCoAnalysis walks with random layer switching.
+enum class PmneVariant { kNetwork, kResults, kCoAnalysis };
+
+class Pmne : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::WalkConfig walks;
+    nn::SkipGramConfig sgns;
+    PmneVariant variant = PmneVariant::kNetwork;
+    double switch_prob = 0.5;  ///< co-analysis layer-switch probability
+  };
+
+  Pmne() = default;
+  explicit Pmne(Config config) : config_(std::move(config)) {}
+  std::string name() const override;
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief MVE: multi-view embedding — per-view (per-edge-type) embeddings
+/// collaborating into a single representation via learned attention over
+/// views.
+class Mve : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::WalkConfig walks;
+    nn::SkipGramConfig sgns;
+    uint32_t attention_rounds = 200;
+    float attention_lr = 0.5f;
+  };
+
+  Mve() = default;
+  explicit Mve(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "mve"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief MNE: one common embedding b_v plus a low-dimensional per-layer
+/// additional embedding u_{v,t}; both trained jointly by layer-wise SGNS
+/// where the center representation of v in layer t is b_v + u_{v,t}.
+class Mne : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    nn::WalkConfig walks;
+    size_t dim = 32;           ///< common embedding dimension
+    size_t extra_dim = 8;      ///< per-layer additional dimension (projected)
+    uint32_t negatives = 4;
+    uint32_t epochs = 2;
+    float learning_rate = 0.05f;
+    uint64_t seed = 23;
+  };
+
+  Mne() = default;
+  explicit Mne(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "mne"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+  /// Per-layer embedding h_{v,t} = b_v + P_t u_{v,t} of the last Embed run.
+  const std::vector<nn::Matrix>& per_layer_embeddings() const {
+    return per_layer_;
+  }
+
+ private:
+  Config config_;
+  std::vector<nn::Matrix> per_layer_;
+};
+
+/// \brief ANRL: attributed network representation learning — a neighbor-
+/// enhancement autoencoder (reconstruct the mean of neighbors' attributes)
+/// whose encoder output doubles as the skip-gram center embedding.
+class Anrl : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    size_t dim = 32;
+    size_t feature_dim = 32;
+    nn::WalkConfig walks;
+    uint32_t negatives = 4;
+    uint32_t epochs = 2;
+    float learning_rate = 0.02f;
+    float reconstruction_weight = 1.0f;
+    uint64_t seed = 29;
+  };
+
+  Anrl() = default;
+  explicit Anrl(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "anrl"; }
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_HETEROGENEOUS_H_

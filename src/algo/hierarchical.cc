@@ -1,0 +1,147 @@
+#include "algo/hierarchical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.h"
+
+namespace aligraph {
+namespace algo {
+namespace {
+
+// Plain k-means over embedding rows; returns cluster id per row.
+std::vector<uint32_t> KMeans(const nn::Matrix& z, size_t k, uint32_t iters,
+                             uint64_t seed) {
+  const size_t n = z.rows();
+  const size_t d = z.cols();
+  k = std::min(k, n);
+  Rng rng(seed);
+  nn::Matrix centers(k, d);
+  for (size_t c = 0; c < k; ++c) {
+    auto src = z.Row(rng.Uniform(n));
+    auto dst = centers.Row(c);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+  std::vector<uint32_t> assign(n, 0);
+  std::vector<size_t> counts(k);
+  for (uint32_t it = 0; it < iters; ++it) {
+    for (size_t i = 0; i < n; ++i) {
+      float best = std::numeric_limits<float>::max();
+      uint32_t arg = 0;
+      auto row = z.Row(i);
+      for (size_t c = 0; c < k; ++c) {
+        auto ctr = centers.Row(c);
+        float dist = 0;
+        for (size_t j = 0; j < d; ++j) {
+          const float diff = row[j] - ctr[j];
+          dist += diff * diff;
+        }
+        if (dist < best) {
+          best = dist;
+          arg = static_cast<uint32_t>(c);
+        }
+      }
+      assign[i] = arg;
+    }
+    centers.Fill(0.0f);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      nn::Axpy(1.0f, z.Row(i), centers.Row(assign[i]));
+      ++counts[assign[i]];
+    }
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;
+      const float inv = 1.0f / static_cast<float>(counts[c]);
+      for (float& v : centers.Row(c)) v *= inv;
+    }
+  }
+  return assign;
+}
+
+}  // namespace
+
+Result<nn::Matrix> HierarchicalGnn::Embed(const AttributedGraph& graph) {
+  if (graph.num_vertices() == 0) return Status::InvalidArgument("empty graph");
+  const VertexId n = graph.num_vertices();
+
+  // Level 1: base GNN on the original graph.
+  GraphSage level1(config_.base);
+  ALIGRAPH_ASSIGN_OR_RETURN(nn::Matrix z1, level1.Embed(graph));
+
+  // Pooling: hard assignment S from k-means on Z(1).
+  const std::vector<uint32_t> assign =
+      KMeans(z1, config_.clusters, config_.kmeans_iters, config_.base.seed);
+  const size_t k =
+      1 + *std::max_element(assign.begin(), assign.end());
+
+  // Coarsened graph A(2) = S^T A S with summed multi-edges as weights, and
+  // coarse features X(2) = S^T Z(1) (cluster means).
+  GraphBuilder gb;
+  std::vector<std::vector<float>> coarse_feat(
+      k, std::vector<float>(z1.cols(), 0.0f));
+  std::vector<size_t> counts(k, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    auto src = z1.Row(v);
+    auto& dst = coarse_feat[assign[v]];
+    for (size_t j = 0; j < dst.size(); ++j) dst[j] += src[j];
+    ++counts[assign[v]];
+  }
+  for (size_t c = 0; c < k; ++c) {
+    if (counts[c] > 0) {
+      for (float& f : coarse_feat[c]) f /= static_cast<float>(counts[c]);
+    }
+    // Empty clusters keep zero features so coarse ids stay aligned.
+    (void)gb.AddVertex(0, coarse_feat[c]);
+  }
+
+  std::unordered_map<uint64_t, float> coarse_edges;
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      const uint32_t a = assign[v];
+      const uint32_t b = assign[nb.dst];
+      if (a == b) continue;
+      coarse_edges[(static_cast<uint64_t>(a) << 32) | b] += nb.weight;
+    }
+  }
+  for (const auto& [key, w] : coarse_edges) {
+    ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(static_cast<VertexId>(key >> 32),
+                                      static_cast<VertexId>(key & 0xffffffff),
+                                      0, w));
+  }
+  ALIGRAPH_ASSIGN_OR_RETURN(AttributedGraph coarse, gb.Build());
+
+  // Level 2: GNN on the coarse graph, fed the pooled features.
+  GnnConfig coarse_cfg = config_.base;
+  coarse_cfg.feature_dim = z1.cols();
+  coarse_cfg.seed = config_.base.seed + 17;
+  GraphSage level2(coarse_cfg);
+  nn::Matrix coarse_features(coarse.num_vertices(), z1.cols());
+  for (VertexId c = 0; c < coarse.num_vertices(); ++c) {
+    auto feats = coarse.VertexFeatures(c);
+    auto dst = coarse_features.Row(c);
+    std::copy(feats.begin(), feats.end(),
+              dst.begin());
+  }
+  ALIGRAPH_ASSIGN_OR_RETURN(
+      nn::Matrix z2, level2.EmbedWithFeatures(coarse, coarse_features));
+
+  // Final representation: fine embedding || scaled coarse embedding of the
+  // vertex's cluster.
+  nn::Matrix out(n, z1.cols() + z2.cols());
+  for (VertexId v = 0; v < n; ++v) {
+    auto dst = out.Row(v);
+    auto f = z1.Row(v);
+    auto c = z2.Row(assign[v]);
+    std::copy(f.begin(), f.end(), dst.begin());
+    for (size_t j = 0; j < c.size(); ++j) {
+      dst[f.size() + j] = config_.coarse_weight * c[j];
+    }
+  }
+  return out;
+}
+
+}  // namespace algo
+}  // namespace aligraph

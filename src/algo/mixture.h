@@ -1,0 +1,87 @@
+/// \file mixture.h
+/// \brief Mixture GNN (Section 4.2) — a multi-sense skip-gram for
+/// polysemous vertices on heterogeneous graphs — plus the two
+/// recommendation baselines it is compared against in Table 9: a denoising
+/// autoencoder (DAE) and a beta-VAE over user-item interaction vectors.
+///
+/// Mixture GNN keeps S sense embeddings per vertex with a sense prior P;
+/// each training pair is attributed softly to senses by posterior
+/// responsibility and every sense is updated with its responsibility weight,
+/// which maximizes the paper's lower bound L_low of the polysemous
+/// likelihood (Equation 6) via negative sampling.
+
+#ifndef ALIGRAPH_ALGO_MIXTURE_H_
+#define ALIGRAPH_ALGO_MIXTURE_H_
+
+#include <vector>
+
+#include "algo/embedding_algorithm.h"
+#include "nn/layers.h"
+#include "nn/walks.h"
+
+namespace aligraph {
+namespace algo {
+
+/// \brief The multi-sense Mixture GNN.
+class MixtureGnn : public EmbeddingAlgorithm {
+ public:
+  struct Config {
+    size_t senses = 3;
+    size_t sense_dim = 12;  ///< output dim = senses * sense_dim
+    nn::WalkConfig walks;
+    uint32_t negatives = 4;
+    uint32_t epochs = 2;
+    float learning_rate = 0.05f;
+    uint64_t seed = 47;
+  };
+
+  MixtureGnn() = default;
+  explicit MixtureGnn(Config config) : config_(std::move(config)) {}
+  std::string name() const override { return "mixture_gnn"; }
+
+  /// Returns the concatenation of all sense embeddings.
+  Result<nn::Matrix> Embed(const AttributedGraph& graph) override;
+
+ private:
+  Config config_;
+};
+
+/// \brief User-item recommendation baselines for Table 9. Both consume the
+/// user-item edges of an AHG (edge types whose source is a user vertex) and
+/// score items per user by reconstruction.
+class InteractionAutoencoder {
+ public:
+  struct Config {
+    size_t hidden = 64;
+    uint32_t epochs = 5;
+    float learning_rate = 0.01f;
+    float corruption = 0.5f;  ///< DAE input dropout rate
+    bool variational = false;
+    float beta = 0.2f;        ///< KL weight (beta-VAE only)
+    uint64_t seed = 53;
+  };
+
+  /// \param num_items size of the item vocabulary.
+  InteractionAutoencoder(size_t num_items, Config config);
+
+  std::string name() const { return config_.variational ? "beta_vae" : "dae"; }
+
+  /// Trains on users' interaction vectors (item index lists).
+  void Train(const std::vector<std::vector<uint32_t>>& user_items);
+
+  /// Reconstruction scores over all items for one user's interactions.
+  std::vector<float> Score(const std::vector<uint32_t>& user_items);
+
+ private:
+  Config config_;
+  size_t num_items_;
+  Rng rng_;
+  nn::Linear encoder_;
+  nn::Linear enc_logvar_;  // VAE only
+  nn::Linear decoder_;
+};
+
+}  // namespace algo
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_ALGO_MIXTURE_H_

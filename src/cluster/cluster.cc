@@ -1,0 +1,176 @@
+#include "cluster/cluster.h"
+
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/timer.h"
+#include "storage/importance.h"
+
+namespace aligraph {
+
+std::string ClusterBuildReport::ToString() const {
+  std::ostringstream os;
+  os << "partition=" << partition_ms << "ms distribute=" << distribute_ms
+     << "ms max_worker=" << max_worker_build_ms
+     << "ms parallel~=" << simulated_parallel_ms << "ms serial=" << serial_ms
+     << "ms " << partition_stats.ToString();
+  return os.str();
+}
+
+Result<Cluster> Cluster::Build(const AttributedGraph& graph,
+                               const Partitioner& partitioner,
+                               uint32_t num_workers,
+                               ClusterBuildReport* report) {
+  if (num_workers == 0) return Status::InvalidArgument("num_workers == 0");
+  Cluster cluster;
+  cluster.graph_ = &graph;
+
+  Timer total;
+  Timer phase;
+  ALIGRAPH_ASSIGN_OR_RETURN(cluster.plan_,
+                            partitioner.Partition(graph, num_workers));
+  const double partition_ms = phase.ElapsedMillis();
+
+  const size_t num_types = graph.num_edge_types();
+  cluster.servers_.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    cluster.servers_.push_back(
+        std::make_unique<GraphServer>(w, num_types));
+  }
+
+  // Distribution pass: route every vertex and out-edge to its owner. This
+  // is per-source parallelizable; the per-worker share is distribute/p.
+  phase.Reset();
+  const VertexId n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    GraphServer& srv = *cluster.servers_[cluster.plan_.OwnerOf(v)];
+    srv.AddVertex(v, graph.vertex_attr(v));
+    for (size_t t = 0; t < num_types; ++t) {
+      for (const Neighbor& nb : graph.OutNeighbors(v, static_cast<EdgeType>(t))) {
+        srv.AddEdge(v, static_cast<EdgeType>(t), nb);
+      }
+    }
+  }
+  const double distribute_ms = phase.ElapsedMillis();
+
+  // Local build per worker, timed individually; the slowest worker defines
+  // the simulated parallel critical path.
+  double max_worker_ms = 0;
+  double sum_worker_ms = 0;
+  for (auto& srv : cluster.servers_) {
+    Timer worker_timer;
+    srv->Finalize();
+    const double ms = worker_timer.ElapsedMillis();
+    max_worker_ms = std::max(max_worker_ms, ms);
+    sum_worker_ms += ms;
+  }
+
+  if (report != nullptr) {
+    report->partition_ms = partition_ms;
+    report->distribute_ms = distribute_ms;
+    report->max_worker_build_ms = max_worker_ms;
+    report->simulated_parallel_ms =
+        partition_ms + distribute_ms / num_workers + max_worker_ms;
+    report->serial_ms = partition_ms + distribute_ms + sum_worker_ms;
+    report->partition_stats = ComputePartitionStats(graph, cluster.plan_);
+  }
+  return cluster;
+}
+
+std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
+                                                CommStats* stats) {
+  const WorkerId owner = plan_.OwnerOf(v);
+  if (owner == from) {
+    if (stats != nullptr) stats->local_reads.fetch_add(1);
+    return servers_[owner]->Neighbors(v);
+  }
+  NeighborCache* cache = servers_[from]->neighbor_cache();
+  if (cache != nullptr) {
+    auto hit = cache->Lookup(v);
+    if (hit.has_value()) {
+      if (stats != nullptr) stats->cache_hits.fetch_add(1);
+      return *hit;
+    }
+  }
+  if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  const auto nbs = servers_[owner]->Neighbors(v);
+  if (cache != nullptr) cache->OnRemoteFetch(v, nbs);
+  return nbs;
+}
+
+std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
+                                                EdgeType type,
+                                                CommStats* stats) {
+  const WorkerId owner = plan_.OwnerOf(v);
+  if (owner == from) {
+    if (stats != nullptr) stats->local_reads.fetch_add(1);
+    return servers_[owner]->Neighbors(v, type);
+  }
+  NeighborCache* cache = servers_[from]->neighbor_cache();
+  if (cache != nullptr && cache->Lookup(v).has_value()) {
+    // The pinned copy holds all types; serve the typed view from the owner's
+    // layout (same bytes) while charging a cache hit.
+    if (stats != nullptr) stats->cache_hits.fetch_add(1);
+    return servers_[owner]->Neighbors(v, type);
+  }
+  if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  const auto all = servers_[owner]->Neighbors(v);
+  if (cache != nullptr) cache->OnRemoteFetch(v, all);
+  return servers_[owner]->Neighbors(v, type);
+}
+
+double Cluster::InstallImportanceCache(int depth,
+                                       const std::vector<double>& taus) {
+  const ImportanceSelection sel =
+      SelectImportantVertices(*graph_, depth, taus);
+  for (auto& srv : servers_) {
+    srv->set_neighbor_cache(std::make_unique<StaticNeighborCache>(
+        "importance", *graph_, sel.vertices));
+  }
+  return sel.cache_rate;
+}
+
+void Cluster::InstallTopImportanceCache(int k, double fraction) {
+  const std::vector<VertexId> top = SelectTopImportance(*graph_, k, fraction);
+  for (auto& srv : servers_) {
+    srv->set_neighbor_cache(
+        std::make_unique<StaticNeighborCache>("importance", *graph_, top));
+  }
+}
+
+void Cluster::InstallRandomCache(double fraction, uint64_t seed) {
+  const std::vector<VertexId> pick =
+      SelectRandomVertices(*graph_, fraction, seed);
+  for (auto& srv : servers_) {
+    srv->set_neighbor_cache(
+        std::make_unique<StaticNeighborCache>("random", *graph_, pick));
+  }
+}
+
+void Cluster::InstallLruCache(size_t capacity_vertices) {
+  for (auto& srv : servers_) {
+    srv->set_neighbor_cache(
+        std::make_unique<LruNeighborCache>(capacity_vertices));
+  }
+}
+
+void Cluster::ClearCaches() {
+  for (auto& srv : servers_) srv->set_neighbor_cache(nullptr);
+}
+
+double NaiveLockedBuildMillis(const AttributedGraph& graph) {
+  Timer timer;
+  std::mutex mu;
+  std::unordered_map<VertexId, std::vector<Neighbor>> adjacency;
+  const VertexId n = graph.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : graph.OutNeighbors(v)) {
+      std::lock_guard<std::mutex> lock(mu);  // global synchronization
+      adjacency[v].push_back(nb);
+    }
+  }
+  return timer.ElapsedMillis();
+}
+
+}  // namespace aligraph

@@ -1,0 +1,101 @@
+/// \file cluster.h
+/// \brief The simulated distributed graph: a set of GraphServers built by a
+/// pluggable partitioner, with cache-aware, communication-counted neighbor
+/// access.
+///
+/// Simulation of parallel build time: workers are processed one after the
+/// other on this machine, each timed individually; the reported parallel
+/// build time is the *maximum* per-worker time plus the (parallelizable)
+/// distribution pass divided by the worker count — i.e. the critical path a
+/// real cluster would see. The serial comparator (NaiveLockedBuildMillis)
+/// mimics a PowerGraph-style globally synchronized loader.
+
+#ifndef ALIGRAPH_CLUSTER_CLUSTER_H_
+#define ALIGRAPH_CLUSTER_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/comm_model.h"
+#include "cluster/graph_server.h"
+#include "common/status.h"
+#include "graph/graph.h"
+#include "partition/partitioner.h"
+
+namespace aligraph {
+
+/// \brief Timing breakdown of a distributed build (Figure 7).
+struct ClusterBuildReport {
+  double partition_ms = 0;       ///< partitioning the vertex set
+  double distribute_ms = 0;      ///< routing edges to workers (total work)
+  double max_worker_build_ms = 0;  ///< slowest single worker's local build
+  double simulated_parallel_ms = 0;  ///< critical-path estimate
+  double serial_ms = 0;          ///< sum of all work (1-worker equivalent)
+  PartitionStats partition_stats;
+  std::string ToString() const;
+};
+
+/// \brief A distributed AttributedGraph over p simulated workers.
+class Cluster {
+ public:
+  /// Partitions `graph` with `partitioner` and builds per-worker storage.
+  /// The graph must outlive the cluster. Fills `report` when non-null.
+  static Result<Cluster> Build(const AttributedGraph& graph,
+                               const Partitioner& partitioner,
+                               uint32_t num_workers,
+                               ClusterBuildReport* report = nullptr);
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(servers_.size());
+  }
+  WorkerId OwnerOf(VertexId v) const { return plan_.OwnerOf(v); }
+  GraphServer& server(WorkerId w) { return *servers_[w]; }
+  const GraphServer& server(WorkerId w) const { return *servers_[w]; }
+  const AttributedGraph& graph() const { return *graph_; }
+  const PartitionPlan& plan() const { return plan_; }
+
+  /// Neighbor read issued by worker `from`: local when `from` owns v, else
+  /// served by `from`'s neighbor cache, else a counted remote fetch from
+  /// the owner. All paths return the same data.
+  std::span<const Neighbor> GetNeighbors(WorkerId from, VertexId v,
+                                         CommStats* stats);
+
+  /// Same, restricted to one edge type. Cache hits at type granularity are
+  /// conservative: a cached vertex serves all its types.
+  std::span<const Neighbor> GetNeighbors(WorkerId from, VertexId v,
+                                         EdgeType type, CommStats* stats);
+
+  /// Installs the paper's importance-based cache on every worker: vertices
+  /// with Imp_k >= taus[k-1] for any k <= depth get their out-neighbors
+  /// replicated to all workers. Returns the fraction of vertices cached.
+  double InstallImportanceCache(int depth, const std::vector<double>& taus);
+
+  /// Pins the out-neighbors of the top-`fraction` vertices by importance.
+  void InstallTopImportanceCache(int k, double fraction);
+
+  /// Pins a uniformly random `fraction` of vertices (Fig. 9 comparator).
+  void InstallRandomCache(double fraction, uint64_t seed);
+
+  /// Installs a reactive LRU cache of `capacity_vertices` per worker.
+  void InstallLruCache(size_t capacity_vertices);
+
+  /// Removes all caches.
+  void ClearCaches();
+
+ private:
+  Cluster() = default;
+
+  const AttributedGraph* graph_ = nullptr;
+  PartitionPlan plan_;
+  std::vector<std::unique_ptr<GraphServer>> servers_;
+};
+
+/// Serial comparator for Fig. 7: builds one global adjacency map taking a
+/// global mutex per edge, the way a naive synchronized loader would.
+/// Returns elapsed milliseconds.
+double NaiveLockedBuildMillis(const AttributedGraph& graph);
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_CLUSTER_CLUSTER_H_

@@ -1,0 +1,14 @@
+#include "cluster/comm_model.h"
+
+#include <sstream>
+
+namespace aligraph {
+
+std::string CommStats::ToString() const {
+  std::ostringstream os;
+  os << "local=" << local_reads.load() << " cache=" << cache_hits.load()
+     << " remote=" << remote_reads.load();
+  return os.str();
+}
+
+}  // namespace aligraph

@@ -1,0 +1,76 @@
+#include "cluster/graph_server.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aligraph {
+
+void GraphServer::AddVertex(VertexId v, AttrId attr) {
+  ALIGRAPH_CHECK(!finalized_);
+  auto [it, inserted] = adj_.try_emplace(v);
+  if (inserted) owned_.push_back(v);
+  it->second.attr = attr;
+}
+
+void GraphServer::AddEdge(VertexId src, EdgeType type,
+                          const Neighbor& neighbor) {
+  ALIGRAPH_CHECK(!finalized_);
+  if (adj_.find(src) == adj_.end()) AddVertex(src, kNoAttr);
+  staging_[src].emplace_back(type, neighbor);
+  ++num_edges_;
+}
+
+void GraphServer::Finalize() {
+  ALIGRAPH_CHECK(!finalized_);
+  finalized_ = true;
+  for (auto& [v, edges] : staging_) {
+    // Counting sort by type keeps Finalize O(m) per server.
+    Adj& a = adj_[v];
+    a.type_offsets.assign(num_edge_types_ + 1, 0);
+    for (const auto& [t, nb] : edges) ++a.type_offsets[t + 1];
+    for (size_t t = 1; t <= num_edge_types_; ++t) {
+      a.type_offsets[t] += a.type_offsets[t - 1];
+    }
+    a.neighbors.resize(edges.size());
+    std::vector<uint32_t> cursor(a.type_offsets.begin(),
+                                 a.type_offsets.end() - 1);
+    for (const auto& [t, nb] : edges) a.neighbors[cursor[t]++] = nb;
+  }
+  staging_.clear();
+}
+
+std::span<const Neighbor> GraphServer::Neighbors(VertexId v) const {
+  ALIGRAPH_CHECK(finalized_);
+  auto it = adj_.find(v);
+  if (it == adj_.end()) return {};
+  return it->second.neighbors;
+}
+
+std::span<const Neighbor> GraphServer::Neighbors(VertexId v,
+                                                 EdgeType type) const {
+  ALIGRAPH_CHECK(finalized_);
+  auto it = adj_.find(v);
+  if (it == adj_.end() || it->second.type_offsets.empty()) return {};
+  const Adj& a = it->second;
+  return {a.neighbors.data() + a.type_offsets[type],
+          static_cast<size_t>(a.type_offsets[type + 1] -
+                              a.type_offsets[type])};
+}
+
+AttrId GraphServer::VertexAttr(VertexId v) const {
+  auto it = adj_.find(v);
+  return it == adj_.end() ? kNoAttr : it->second.attr;
+}
+
+size_t GraphServer::MemoryBytes() const {
+  size_t bytes = 0;
+  for (const auto& [v, a] : adj_) {
+    bytes += a.neighbors.size() * sizeof(Neighbor) +
+             a.type_offsets.size() * sizeof(uint32_t) + sizeof(VertexId) +
+             sizeof(AttrId);
+  }
+  return bytes;
+}
+
+}  // namespace aligraph

@@ -1,0 +1,88 @@
+/// \file graph_server.h
+/// \brief One worker of the simulated cluster: owns a source-partitioned
+/// subgraph stored as per-vertex, type-segmented adjacency lists plus an
+/// optional neighbor cache and an LRU attribute cache (the paper's IV/IE
+/// front caches).
+
+#ifndef ALIGRAPH_CLUSTER_GRAPH_SERVER_H_
+#define ALIGRAPH_CLUSTER_GRAPH_SERVER_H_
+
+#include <memory>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/lru_cache.h"
+#include "graph/graph.h"
+#include "storage/neighbor_cache.h"
+
+namespace aligraph {
+
+/// \brief Per-server local storage of the vertices it owns.
+///
+/// Adjacency for each owned vertex is one contiguous vector segmented by
+/// edge type, so both "all neighbors" and "neighbors of type t" are O(1)
+/// span views. Construction: AddEdge calls followed by one Finalize.
+class GraphServer {
+ public:
+  GraphServer(WorkerId id, size_t num_edge_types)
+      : id_(id), num_edge_types_(num_edge_types) {}
+
+  WorkerId id() const { return id_; }
+
+  /// Registers ownership of a vertex (may hold zero edges).
+  void AddVertex(VertexId v, AttrId attr);
+
+  /// Buffers one out-edge of an owned vertex.
+  void AddEdge(VertexId src, EdgeType type, const Neighbor& neighbor);
+
+  /// Compacts buffered edges into type-segmented adjacency. Must be called
+  /// exactly once, after which AddEdge is illegal.
+  void Finalize();
+
+  bool Owns(VertexId v) const { return adj_.count(v) > 0; }
+  size_t num_vertices() const { return adj_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// All out-neighbors of an owned vertex.
+  std::span<const Neighbor> Neighbors(VertexId v) const;
+  /// Out-neighbors of an owned vertex restricted to one edge type.
+  std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) const;
+
+  /// Attribute id of an owned vertex (kNoAttr when absent).
+  AttrId VertexAttr(VertexId v) const;
+
+  /// The vertices this server owns, in insertion order.
+  const std::vector<VertexId>& owned_vertices() const { return owned_; }
+
+  /// Installs / accesses the server-local neighbor cache (may be null).
+  void set_neighbor_cache(std::unique_ptr<NeighborCache> cache) {
+    neighbor_cache_ = std::move(cache);
+  }
+  NeighborCache* neighbor_cache() const { return neighbor_cache_.get(); }
+
+  /// Approximate resident bytes of the adjacency storage.
+  size_t MemoryBytes() const;
+
+ private:
+  struct Adj {
+    std::vector<Neighbor> neighbors;       // segmented by type
+    std::vector<uint32_t> type_offsets;    // size num_edge_types + 1
+    AttrId attr = kNoAttr;
+  };
+
+  WorkerId id_;
+  size_t num_edge_types_;
+  bool finalized_ = false;
+  size_t num_edges_ = 0;
+  std::vector<VertexId> owned_;
+  std::unordered_map<VertexId, Adj> adj_;
+  // Build-time staging: per-vertex edges tagged with their type.
+  std::unordered_map<VertexId, std::vector<std::pair<EdgeType, Neighbor>>>
+      staging_;
+  std::unique_ptr<NeighborCache> neighbor_cache_;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_CLUSTER_GRAPH_SERVER_H_

@@ -1,0 +1,55 @@
+#include "cluster/request_bucket.h"
+
+#include <memory>
+
+namespace aligraph {
+
+BucketExecutor::BucketExecutor(size_t num_buckets, size_t ring_capacity) {
+  ALIGRAPH_CHECK_GT(num_buckets, 0u);
+  buckets_.reserve(num_buckets);
+  for (size_t i = 0; i < num_buckets; ++i) {
+    buckets_.push_back(std::make_unique<Bucket>(ring_capacity));
+  }
+  for (auto& b : buckets_) {
+    b->consumer = std::thread([this, bp = b.get()] { ConsumerLoop(bp); });
+  }
+}
+
+BucketExecutor::~BucketExecutor() {
+  Drain();
+  stop_.store(true, std::memory_order_release);
+  for (auto& b : buckets_) b->consumer.join();
+}
+
+void BucketExecutor::Submit(uint64_t group, Op op) {
+  Bucket& bucket = *buckets_[group % buckets_.size()];
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  // Pass a copy per attempt: a failed TryPush leaves its argument
+  // moved-from, so retrying with the original would drop the op.
+  while (!bucket.ring.TryPush(op)) {
+    std::this_thread::yield();  // backpressure: ring full
+  }
+}
+
+void BucketExecutor::Drain() {
+  while (completed_.load(std::memory_order_acquire) <
+         submitted_.load(std::memory_order_acquire)) {
+    std::this_thread::yield();
+  }
+}
+
+void BucketExecutor::ConsumerLoop(Bucket* bucket) {
+  Op op;
+  while (true) {
+    if (bucket->ring.TryPop(&op)) {
+      op();
+      completed_.fetch_add(1, std::memory_order_release);
+    } else if (stop_.load(std::memory_order_acquire)) {
+      return;
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace aligraph

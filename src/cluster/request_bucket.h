@@ -1,0 +1,130 @@
+/// \file request_bucket.h
+/// \brief Lock-free request-flow buckets (Section 3.3, Figure 6).
+///
+/// Each graph server splits its vertices into groups; all reads and updates
+/// touching a group flow through that group's bucket — a bounded lock-free
+/// MPSC ring bound to one logical core — and are processed sequentially by
+/// a single consumer, eliminating per-operation locking.
+
+#ifndef ALIGRAPH_CLUSTER_REQUEST_BUCKET_H_
+#define ALIGRAPH_CLUSTER_REQUEST_BUCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "graph/types.h"
+
+namespace aligraph {
+
+/// \brief Bounded multi-producer / single-consumer ring buffer.
+///
+/// Producers claim slots with a fetch-add ticket and publish via a sequence
+/// stamp (Vyukov MPMC scheme restricted to one consumer). Push spins briefly
+/// and fails when the ring stays full, letting callers apply backpressure.
+template <typename T>
+class MpscRing {
+ public:
+  explicit MpscRing(size_t capacity_pow2 = 1024)
+      : capacity_(capacity_pow2), mask_(capacity_pow2 - 1),
+        cells_(capacity_pow2) {
+    ALIGRAPH_CHECK((capacity_pow2 & (capacity_pow2 - 1)) == 0)
+        << "capacity must be a power of two";
+    for (size_t i = 0; i < capacity_; ++i) {
+      cells_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
+
+  /// Attempts to enqueue; returns false when the ring is full.
+  bool TryPush(T value) {
+    size_t pos = tail_.load(std::memory_order_relaxed);
+    while (true) {
+      Cell& cell = cells_[pos & mask_];
+      const size_t seq = cell.seq.load(std::memory_order_acquire);
+      const intptr_t diff =
+          static_cast<intptr_t>(seq) - static_cast<intptr_t>(pos);
+      if (diff == 0) {
+        if (tail_.compare_exchange_weak(pos, pos + 1,
+                                        std::memory_order_relaxed)) {
+          cell.value = std::move(value);
+          cell.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // full
+      } else {
+        pos = tail_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Single-consumer dequeue; returns false when empty.
+  bool TryPop(T* out) {
+    Cell& cell = cells_[head_ & mask_];
+    const size_t seq = cell.seq.load(std::memory_order_acquire);
+    if (static_cast<intptr_t>(seq) - static_cast<intptr_t>(head_ + 1) < 0) {
+      return false;  // empty
+    }
+    *out = std::move(cell.value);
+    cell.seq.store(head_ + capacity_, std::memory_order_release);
+    ++head_;
+    return true;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<size_t> seq{0};
+    T value;
+  };
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<Cell> cells_;
+  std::atomic<size_t> tail_{0};
+  size_t head_ = 0;  // single consumer: plain field
+};
+
+/// \brief A set of request buckets, each drained by its own thread.
+///
+/// Operations are closures routed by vertex group: group g always lands in
+/// bucket g % num_buckets, so operations on the same group execute
+/// sequentially without locks while different groups proceed in parallel.
+class BucketExecutor {
+ public:
+  using Op = std::function<void()>;
+
+  explicit BucketExecutor(size_t num_buckets, size_t ring_capacity = 4096);
+  ~BucketExecutor();
+
+  BucketExecutor(const BucketExecutor&) = delete;
+  BucketExecutor& operator=(const BucketExecutor&) = delete;
+
+  /// Enqueues an operation for a vertex group; spins under backpressure.
+  void Submit(uint64_t group, Op op);
+
+  /// Blocks until every submitted operation has executed.
+  void Drain();
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    explicit Bucket(size_t cap) : ring(cap) {}
+    MpscRing<Op> ring;
+    std::thread consumer;
+  };
+
+  void ConsumerLoop(Bucket* bucket);
+
+  std::vector<std::unique_ptr<Bucket>> buckets_;
+  std::atomic<uint64_t> submitted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<bool> stop_{false};
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_CLUSTER_REQUEST_BUCKET_H_

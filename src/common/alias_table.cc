@@ -1,0 +1,46 @@
+#include "common/alias_table.h"
+
+#include <vector>
+
+namespace aligraph {
+
+void AliasTable::Build(const std::vector<double>& weights) {
+  prob_.clear();
+  alias_.clear();
+  const size_t n = weights.size();
+  if (n == 0) return;
+
+  double total = 0;
+  for (double w : weights) total += w;
+  if (total <= 0) return;
+
+  prob_.resize(n);
+  alias_.assign(n, 0);
+
+  // Scaled probabilities; mean is exactly 1.
+  std::vector<double> scaled(n);
+  for (size_t i = 0; i < n; ++i) scaled[i] = weights[i] * n / total;
+
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    (scaled[i] < 1.0 ? small : large).push_back(static_cast<uint32_t>(i));
+  }
+
+  while (!small.empty() && !large.empty()) {
+    const uint32_t s = small.back();
+    small.pop_back();
+    const uint32_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = scaled[l] + scaled[s] - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  // Numerical leftovers all get probability 1.
+  for (uint32_t i : small) prob_[i] = 1.0;
+  for (uint32_t i : large) prob_[i] = 1.0;
+}
+
+}  // namespace aligraph

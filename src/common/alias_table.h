@@ -1,0 +1,45 @@
+/// \file alias_table.h
+/// \brief Walker alias method: O(1) sampling from a fixed discrete
+/// distribution after O(n) build. Backs the NEGATIVE sampler (degree^0.75
+/// noise distribution) and weighted NEIGHBORHOOD sampling.
+
+#ifndef ALIGRAPH_COMMON_ALIAS_TABLE_H_
+#define ALIGRAPH_COMMON_ALIAS_TABLE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace aligraph {
+
+/// \brief Immutable alias table over indices [0, n).
+class AliasTable {
+ public:
+  AliasTable() = default;
+
+  /// Builds from non-negative weights; weights need not be normalized.
+  /// An all-zero or empty weight vector yields an empty table.
+  explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
+
+  /// Rebuilds the table in place.
+  void Build(const std::vector<double>& weights);
+
+  /// Draws one index; table must be non-empty.
+  size_t Sample(Rng& rng) const {
+    const size_t i = rng.Uniform(prob_.size());
+    return rng.NextDouble() < prob_[i] ? i : alias_[i];
+  }
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<uint32_t> alias_;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_COMMON_ALIAS_TABLE_H_

@@ -1,0 +1,109 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace aligraph {
+
+void Summary::Add(double v) {
+  values_.push_back(v);
+  sum_ += v;
+  sorted_ = false;
+}
+
+double Summary::mean() const {
+  return values_.empty() ? 0.0 : sum_ / static_cast<double>(values_.size());
+}
+
+double Summary::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Summary::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Summary::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double acc = 0;
+  for (double v : values_) acc += (v - m) * (v - m);
+  return std::sqrt(acc / static_cast<double>(values_.size() - 1));
+}
+
+double Summary::Percentile(double p) {
+  if (values_.empty()) return 0.0;
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+  const double rank = p / 100.0 * static_cast<double>(values_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, values_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values_[lo] * (1 - frac) + values_[hi] * frac;
+}
+
+std::string Summary::ToString() {
+  std::ostringstream os;
+  os << "count=" << count() << " mean=" << mean() << " p50=" << Percentile(50)
+     << " p99=" << Percentile(99) << " max=" << max();
+  return os.str();
+}
+
+PowerLawFit FitPowerLawSlope(const std::vector<double>& sample,
+                             size_t num_buckets) {
+  PowerLawFit fit;
+  double vmax = 0;
+  for (double v : sample) vmax = std::max(vmax, v);
+  if (vmax <= 1.0 || num_buckets < 3) return fit;
+
+  // Logarithmic binning: bucket i covers [b^i, b^{i+1}) with b chosen so
+  // num_buckets buckets span [1, vmax]. Density = count / bucket width.
+  const double base = std::pow(vmax, 1.0 / static_cast<double>(num_buckets));
+  std::vector<double> counts(num_buckets, 0.0);
+  for (double v : sample) {
+    if (v < 1.0) continue;
+    size_t i = static_cast<size_t>(std::log(v) / std::log(base));
+    if (i >= num_buckets) i = num_buckets - 1;
+    counts[i] += 1.0;
+  }
+
+  std::vector<double> xs, ys;
+  for (size_t i = 0; i < num_buckets; ++i) {
+    if (counts[i] <= 0) continue;
+    const double lo = std::pow(base, static_cast<double>(i));
+    const double hi = std::pow(base, static_cast<double>(i + 1));
+    const double center = std::sqrt(lo * hi);
+    const double density = counts[i] / (hi - lo);
+    xs.push_back(std::log(center));
+    ys.push_back(std::log(density));
+  }
+  fit.points = xs.size();
+  if (xs.size() < 3) return fit;
+
+  // Ordinary least squares on the log-log points.
+  const double n = static_cast<double>(xs.size());
+  double sx = 0, sy = 0, sxx = 0, sxy = 0, syy = 0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sx += xs[i];
+    sy += ys[i];
+    sxx += xs[i] * xs[i];
+    sxy += xs[i] * ys[i];
+    syy += ys[i] * ys[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  if (std::abs(denom) < 1e-12) return fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  const double ss_tot = syy - sy * sy / n;
+  const double ss_res = ss_tot - fit.slope * (sxy - sx * sy / n);
+  fit.r_squared = ss_tot <= 0 ? 0.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+}  // namespace aligraph

@@ -1,0 +1,58 @@
+/// \file histogram.h
+/// \brief Summary statistics and power-law diagnostics.
+///
+/// The paper's Theorems 1 and 2 claim that k-hop degree counts and the
+/// importance metric Imp(v) follow power-law distributions; FitPowerLawSlope
+/// provides the log-log regression the property tests and bench_theorems use
+/// to verify that claim empirically.
+
+#ifndef ALIGRAPH_COMMON_HISTOGRAM_H_
+#define ALIGRAPH_COMMON_HISTOGRAM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace aligraph {
+
+/// \brief Streaming summary of a sample: count / mean / min / max /
+/// percentiles (percentiles require Finalize(), which sorts).
+class Summary {
+ public:
+  void Add(double v);
+
+  size_t count() const { return values_.size(); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+  /// Percentile in [0, 100]; sorts lazily.
+  double Percentile(double p);
+
+  std::string ToString();
+
+ private:
+  std::vector<double> values_;
+  double sum_ = 0;
+  bool sorted_ = false;
+};
+
+/// \brief Result of a discrete power-law fit Pr(X = q) ~ q^{-gamma}.
+struct PowerLawFit {
+  double slope = 0;      ///< Fitted -gamma (negative for power laws).
+  double r_squared = 0;  ///< Goodness of the log-log linear fit.
+  size_t points = 0;     ///< Number of distinct (value, frequency) points.
+};
+
+/// \brief Fits a line to (log value, log frequency) over the positive entries
+/// of the sample. Values <= 0 are skipped. Returns slope ~ -gamma; for a
+/// power-law sample the fit is strongly linear (r_squared close to 1).
+PowerLawFit FitPowerLawSlope(const std::vector<double>& sample,
+                             size_t num_buckets = 32);
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_COMMON_HISTOGRAM_H_

@@ -1,0 +1,90 @@
+/// \file logging.h
+/// \brief Minimal leveled logging and CHECK-style invariant macros.
+///
+/// Logging is stderr-based and thread-safe at line granularity. CHECK
+/// failures print the failing condition with source location and abort:
+/// they signal programmer errors, never recoverable conditions (those use
+/// Status, see status.h).
+
+#ifndef ALIGRAPH_COMMON_LOGGING_H_
+#define ALIGRAPH_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace aligraph {
+
+/// \brief Severity of a log line; lines below the global threshold are
+/// dropped.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kFatal = 4,
+};
+
+/// Sets the global minimum level; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it (or aborts, for kFatal) on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Swallows streamed values when a log line is compiled out or filtered.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal
+}  // namespace aligraph
+
+#define ALIGRAPH_LOG(level)                                             \
+  ::aligraph::internal::LogMessage(::aligraph::LogLevel::k##level,      \
+                                   __FILE__, __LINE__)                  \
+      .stream()
+
+#define ALIGRAPH_CHECK(cond)                                            \
+  if (!(cond))                                                          \
+  ::aligraph::internal::LogMessage(::aligraph::LogLevel::kFatal,        \
+                                   __FILE__, __LINE__)                  \
+          .stream()                                                     \
+      << "Check failed: " #cond " "
+
+#define ALIGRAPH_CHECK_OK(expr)                                         \
+  do {                                                                  \
+    ::aligraph::Status _st = (expr);                                    \
+    ALIGRAPH_CHECK(_st.ok()) << _st.ToString();                         \
+  } while (0)
+
+#define ALIGRAPH_CHECK_EQ(a, b) ALIGRAPH_CHECK((a) == (b))
+#define ALIGRAPH_CHECK_NE(a, b) ALIGRAPH_CHECK((a) != (b))
+#define ALIGRAPH_CHECK_LT(a, b) ALIGRAPH_CHECK((a) < (b))
+#define ALIGRAPH_CHECK_LE(a, b) ALIGRAPH_CHECK((a) <= (b))
+#define ALIGRAPH_CHECK_GT(a, b) ALIGRAPH_CHECK((a) > (b))
+#define ALIGRAPH_CHECK_GE(a, b) ALIGRAPH_CHECK((a) >= (b))
+
+#define ALIGRAPH_DCHECK(cond) ALIGRAPH_CHECK(cond)
+
+#endif  // ALIGRAPH_COMMON_LOGGING_H_

@@ -1,0 +1,57 @@
+/// \file threadpool.h
+/// \brief Fixed-size worker pool used to simulate cluster workers and to
+/// parallelize graph building and training.
+
+#ifndef ALIGRAPH_COMMON_THREADPOOL_H_
+#define ALIGRAPH_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aligraph {
+
+/// \brief A fixed pool of threads draining a shared FIFO of tasks.
+///
+/// Submit() enqueues a task; Wait() blocks until every submitted task has
+/// finished. The pool is reusable across Wait() rounds and joins its threads
+/// on destruction.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some pool thread.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running.
+  void Wait();
+
+  /// Runs fn(i) for every i in [0, n), spread over the pool, and waits.
+  /// Chunks the index space so per-call overhead stays negligible.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+  size_t num_threads() const { return threads_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_done_;
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_COMMON_THREADPOOL_H_

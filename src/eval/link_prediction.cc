@@ -1,0 +1,165 @@
+#include "eval/link_prediction.h"
+
+#include <cmath>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace aligraph {
+namespace eval {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v, EdgeType t) {
+  return (static_cast<uint64_t>(t) << 48) ^
+         (static_cast<uint64_t>(u) << 24) ^ v;
+}
+
+}  // namespace
+
+Result<LinkPredictionSplit> SplitLinkPrediction(const AttributedGraph& graph,
+                                                double test_fraction,
+                                                uint64_t seed) {
+  if (test_fraction <= 0 || test_fraction >= 1) {
+    return Status::InvalidArgument("test_fraction must be in (0, 1)");
+  }
+  Rng rng(seed);
+  LinkPredictionSplit split;
+
+  // Rebuild the schema and vertices; route each edge to train or test.
+  GraphSchema schema = graph.schema();
+  GraphBuilder gb(schema, graph.undirected());
+  std::unordered_set<uint64_t> edge_set;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto feats = graph.VertexFeatures(v);
+    gb.AddVertex(graph.vertex_type(v),
+                 std::vector<float>(feats.begin(), feats.end()));
+  }
+  const size_t num_types = graph.num_edge_types();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (size_t t = 0; t < num_types; ++t) {
+      for (const Neighbor& nb :
+           graph.OutNeighbors(v, static_cast<EdgeType>(t))) {
+        if (graph.undirected() && nb.dst < v) continue;  // visit once
+        edge_set.insert(EdgeKey(v, nb.dst, static_cast<EdgeType>(t)));
+        RawEdge e{v, nb.dst, static_cast<EdgeType>(t), nb.weight, kNoAttr};
+        if (rng.Bernoulli(test_fraction)) {
+          split.test_positive.push_back(e);
+        } else {
+          ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(v, nb.dst, e.type, e.weight));
+        }
+      }
+    }
+  }
+
+  // One negative per positive (index-aligned): same source and type, random
+  // non-neighbor destination drawn from the pool of vertices with the same
+  // type as the true destination. If rejection sampling fails (tiny or
+  // near-complete graphs), fall back to the last candidate so alignment
+  // holds.
+  for (const RawEdge& pos : split.test_positive) {
+    const VertexType want = graph.vertex_type(pos.dst);
+    const auto pool = graph.VerticesOfType(want);
+    VertexId chosen = pos.dst;
+    for (int tries = 0; tries < 128 && !pool.empty(); ++tries) {
+      const VertexId cand = pool[rng.Uniform(pool.size())];
+      if (cand == pos.src) continue;
+      chosen = cand;
+      if (edge_set.count(EdgeKey(pos.src, cand, pos.type)) == 0) break;
+    }
+    split.test_negative.push_back(
+        RawEdge{pos.src, chosen, pos.type, 1.0f, kNoAttr});
+  }
+
+  ALIGRAPH_ASSIGN_OR_RETURN(split.train, gb.Build());
+  return split;
+}
+
+double ScorePair(const nn::Matrix& embeddings, VertexId u, VertexId v,
+                 PairScorer scorer) {
+  auto hu = embeddings.Row(u);
+  auto hv = embeddings.Row(v);
+  const double dot = nn::Dot(hu, hv);
+  if (scorer == PairScorer::kDot) return dot;
+  double nu = 0, nv = 0;
+  for (float x : hu) nu += x * x;
+  for (float x : hv) nv += x * x;
+  const double denom = std::sqrt(nu * nv);
+  return denom < 1e-12 ? 0.0 : dot / denom;
+}
+
+namespace {
+
+BinaryMetrics AverageOverTypes(
+    const LinkPredictionSplit& split,
+    const std::function<double(const RawEdge&)>& score) {
+  // Bucket scores per edge type, compute metrics per type, average the
+  // types that have test data.
+  std::unordered_map<EdgeType, std::vector<double>> pos, neg;
+  for (const RawEdge& e : split.test_positive) pos[e.type].push_back(score(e));
+  for (const RawEdge& e : split.test_negative) neg[e.type].push_back(score(e));
+
+  BinaryMetrics avg;
+  size_t counted = 0;
+  for (const auto& [t, p] : pos) {
+    auto it = neg.find(t);
+    if (it == neg.end() || p.empty() || it->second.empty()) continue;
+    const BinaryMetrics m = ComputeBinaryMetrics(p, it->second);
+    avg.roc_auc += m.roc_auc;
+    avg.pr_auc += m.pr_auc;
+    avg.f1 += m.f1;
+    ++counted;
+  }
+  if (counted > 0) {
+    avg.roc_auc /= counted;
+    avg.pr_auc /= counted;
+    avg.f1 /= counted;
+  }
+  return avg;
+}
+
+}  // namespace
+
+BinaryMetrics EvaluateLinkPrediction(const nn::Matrix& embeddings,
+                                     const LinkPredictionSplit& split,
+                                     PairScorer scorer) {
+  return AverageOverTypes(split, [&](const RawEdge& e) {
+    return ScorePair(embeddings, e.src, e.dst, scorer);
+  });
+}
+
+BinaryMetrics EvaluateLinkPredictionPerType(
+    const std::vector<nn::Matrix>& per_type_embeddings,
+    const LinkPredictionSplit& split, PairScorer scorer) {
+  return AverageOverTypes(split, [&](const RawEdge& e) {
+    const nn::Matrix& emb = per_type_embeddings[e.type];
+    return ScorePair(emb, e.src, e.dst, scorer);
+  });
+}
+
+std::vector<size_t> RecommendationRanks(const nn::Matrix& embeddings,
+                                        const LinkPredictionSplit& split,
+                                        std::span<const VertexId> item_pool,
+                                        size_t candidates, uint64_t seed,
+                                        PairScorer scorer) {
+  Rng rng(seed);
+  std::vector<size_t> ranks;
+  ranks.reserve(split.test_positive.size());
+  for (const RawEdge& pos : split.test_positive) {
+    const double pos_score =
+        ScorePair(embeddings, pos.src, pos.dst, scorer);
+    size_t rank = 0;
+    for (size_t c = 0; c < candidates; ++c) {
+      const VertexId item = item_pool[rng.Uniform(item_pool.size())];
+      if (item == pos.dst) continue;
+      if (ScorePair(embeddings, pos.src, item, scorer) > pos_score) ++rank;
+    }
+    ranks.push_back(rank);
+  }
+  return ranks;
+}
+
+}  // namespace eval
+}  // namespace aligraph

@@ -1,0 +1,67 @@
+/// \file link_prediction.h
+/// \brief The link-prediction evaluation harness of Section 5.2: hold out a
+/// fraction of edges, train embeddings on the rest, score held-out edges
+/// against sampled non-edges, and average metrics across edge types.
+
+#ifndef ALIGRAPH_EVAL_LINK_PREDICTION_H_
+#define ALIGRAPH_EVAL_LINK_PREDICTION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "eval/metrics.h"
+#include "graph/graph.h"
+#include "nn/matrix.h"
+
+namespace aligraph {
+namespace eval {
+
+/// \brief A train graph plus held-out positive and sampled negative edges.
+struct LinkPredictionSplit {
+  AttributedGraph train;
+  std::vector<RawEdge> test_positive;
+  std::vector<RawEdge> test_negative;  ///< same size and type mix as positive
+};
+
+/// Splits `graph` for link prediction: each edge lands in the test set with
+/// probability `test_fraction`; one non-edge with the same source and edge
+/// type is sampled per held-out edge.
+Result<LinkPredictionSplit> SplitLinkPrediction(const AttributedGraph& graph,
+                                                double test_fraction,
+                                                uint64_t seed);
+
+/// \brief How an edge (u, v) is scored from vertex embeddings.
+enum class PairScorer {
+  kDot,     ///< <h_u, h_v>
+  kCosine,  ///< normalized dot
+};
+
+double ScorePair(const nn::Matrix& embeddings, VertexId u, VertexId v,
+                 PairScorer scorer);
+
+/// Scores the split with one embedding matrix (row v = embedding of v) and
+/// averages the binary metrics across edge types, as the paper does
+/// ("each metric is averaged among different types of edges").
+BinaryMetrics EvaluateLinkPrediction(const nn::Matrix& embeddings,
+                                     const LinkPredictionSplit& split,
+                                     PairScorer scorer = PairScorer::kDot);
+
+/// Same but with a per-edge-type embedding (GATNE-style h_{v,c}):
+/// `per_type_embeddings[t]` scores edges of type t.
+BinaryMetrics EvaluateLinkPredictionPerType(
+    const std::vector<nn::Matrix>& per_type_embeddings,
+    const LinkPredictionSplit& split, PairScorer scorer = PairScorer::kDot);
+
+/// Recommendation hit-recall: for each held-out (user, item) edge, rank the
+/// positive item among `candidates` random items by embedding score and
+/// report the positive's rank. Feed the ranks to HitRateAtK.
+std::vector<size_t> RecommendationRanks(const nn::Matrix& embeddings,
+                                        const LinkPredictionSplit& split,
+                                        std::span<const VertexId> item_pool,
+                                        size_t candidates, uint64_t seed,
+                                        PairScorer scorer = PairScorer::kDot);
+
+}  // namespace eval
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_EVAL_LINK_PREDICTION_H_

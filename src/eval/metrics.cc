@@ -1,0 +1,134 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aligraph {
+namespace eval {
+namespace {
+
+// Merges scores into (score, is_positive) sorted descending by score.
+std::vector<std::pair<double, bool>> MergeSorted(
+    std::span<const double> pos, std::span<const double> neg) {
+  std::vector<std::pair<double, bool>> all;
+  all.reserve(pos.size() + neg.size());
+  for (double s : pos) all.emplace_back(s, true);
+  for (double s : neg) all.emplace_back(s, false);
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  return all;
+}
+
+}  // namespace
+
+double RocAuc(std::span<const double> pos, std::span<const double> neg) {
+  if (pos.empty() || neg.empty()) return 0.5;
+  // Rank-sum (Mann-Whitney U) with tie correction via average ranks.
+  auto all = MergeSorted(pos, neg);
+  const size_t n = all.size();
+  double pos_rank_sum = 0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j < n && all[j].first == all[i].first) ++j;
+    // ranks i+1 .. j (1-based); average rank for the tie group.
+    const double avg_rank = (static_cast<double>(i) + 1.0 +
+                             static_cast<double>(j)) / 2.0;
+    for (size_t k = i; k < j; ++k) {
+      if (all[k].second) pos_rank_sum += avg_rank;
+    }
+    i = j;
+  }
+  const double np = static_cast<double>(pos.size());
+  const double nn = static_cast<double>(neg.size());
+  // Descending sort: smaller rank = higher score, so invert.
+  const double u = pos_rank_sum - np * (np + 1) / 2.0;
+  return 1.0 - u / (np * nn);
+}
+
+double PrAuc(std::span<const double> pos, std::span<const double> neg) {
+  if (pos.empty()) return 0;
+  auto all = MergeSorted(pos, neg);
+  // Average precision: mean of precision at each positive hit.
+  double ap = 0;
+  size_t tp = 0;
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].second) {
+      ++tp;
+      ap += static_cast<double>(tp) / static_cast<double>(i + 1);
+    }
+  }
+  return ap / static_cast<double>(pos.size());
+}
+
+double BestF1(std::span<const double> pos, std::span<const double> neg) {
+  if (pos.empty()) return 0;
+  auto all = MergeSorted(pos, neg);
+  double best = 0;
+  size_t tp = 0;
+  const double total_pos = static_cast<double>(pos.size());
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (all[i].second) ++tp;
+    // Threshold after element i: predicted positives = i+1.
+    const double precision = static_cast<double>(tp) / static_cast<double>(i + 1);
+    const double recall = static_cast<double>(tp) / total_pos;
+    if (precision + recall > 0) {
+      best = std::max(best, 2 * precision * recall / (precision + recall));
+    }
+  }
+  return best;
+}
+
+BinaryMetrics ComputeBinaryMetrics(std::span<const double> pos,
+                                   std::span<const double> neg) {
+  BinaryMetrics m;
+  m.roc_auc = RocAuc(pos, neg);
+  m.pr_auc = PrAuc(pos, neg);
+  m.f1 = BestF1(pos, neg);
+  return m;
+}
+
+double HitRateAtK(std::span<const size_t> ranks, size_t k) {
+  if (ranks.empty()) return 0;
+  size_t hits = 0;
+  for (size_t r : ranks) {
+    if (r < k) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(ranks.size());
+}
+
+MultiClassF1 ComputeMultiClassF1(std::span<const uint32_t> labels,
+                                 std::span<const uint32_t> predictions,
+                                 uint32_t num_classes) {
+  MultiClassF1 out;
+  if (labels.empty() || labels.size() != predictions.size()) return out;
+  std::vector<size_t> tp(num_classes, 0), fp(num_classes, 0),
+      fn(num_classes, 0);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (labels[i] == predictions[i]) {
+      ++tp[labels[i]];
+    } else {
+      ++fp[predictions[i]];
+      ++fn[labels[i]];
+    }
+  }
+  size_t tp_all = 0, fp_all = 0, fn_all = 0;
+  double macro_sum = 0;
+  uint32_t macro_classes = 0;
+  for (uint32_t c = 0; c < num_classes; ++c) {
+    tp_all += tp[c];
+    fp_all += fp[c];
+    fn_all += fn[c];
+    const double denom = 2.0 * tp[c] + fp[c] + fn[c];
+    if (tp[c] + fn[c] == 0) continue;  // class absent from labels
+    macro_sum += denom == 0 ? 0.0 : 2.0 * tp[c] / denom;
+    ++macro_classes;
+  }
+  const double micro_denom = 2.0 * tp_all + fp_all + fn_all;
+  out.micro = micro_denom == 0 ? 0.0 : 2.0 * tp_all / micro_denom;
+  out.macro = macro_classes == 0 ? 0.0 : macro_sum / macro_classes;
+  return out;
+}
+
+}  // namespace eval
+}  // namespace aligraph

@@ -1,0 +1,58 @@
+/// \file metrics.h
+/// \brief Evaluation metrics used across the paper's Tables 7-12: ROC-AUC,
+/// PR-AUC, F1, hit-recall@K and micro/macro F1.
+
+#ifndef ALIGRAPH_EVAL_METRICS_H_
+#define ALIGRAPH_EVAL_METRICS_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace aligraph {
+namespace eval {
+
+/// Area under the ROC curve for binary scores (probability that a random
+/// positive outranks a random negative; ties count half).
+double RocAuc(std::span<const double> positive_scores,
+              std::span<const double> negative_scores);
+
+/// Area under the precision-recall curve (average precision).
+double PrAuc(std::span<const double> positive_scores,
+             std::span<const double> negative_scores);
+
+/// Maximum F1 over all score thresholds.
+double BestF1(std::span<const double> positive_scores,
+              std::span<const double> negative_scores);
+
+/// \brief The binary-classification triple reported by Tables 7, 8, 10.
+struct BinaryMetrics {
+  double roc_auc = 0;
+  double pr_auc = 0;
+  double f1 = 0;
+};
+
+/// Computes all three binary metrics at once.
+BinaryMetrics ComputeBinaryMetrics(std::span<const double> positive_scores,
+                                   std::span<const double> negative_scores);
+
+/// Hit-recall@K: fraction of test queries whose held-out positive appears
+/// in the query's top-K ranked candidates. `ranks` holds the (0-based) rank
+/// the positive achieved per query.
+double HitRateAtK(std::span<const size_t> ranks, size_t k);
+
+/// \brief Micro/macro F1 for multi-class predictions (Table 11).
+struct MultiClassF1 {
+  double micro = 0;
+  double macro = 0;
+};
+
+/// Labels and predictions are class ids in [0, num_classes).
+MultiClassF1 ComputeMultiClassF1(std::span<const uint32_t> labels,
+                                 std::span<const uint32_t> predictions,
+                                 uint32_t num_classes);
+
+}  // namespace eval
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_EVAL_METRICS_H_

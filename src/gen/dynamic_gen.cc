@@ -1,0 +1,76 @@
+#include "gen/dynamic_gen.h"
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace aligraph {
+namespace gen {
+
+Result<DynamicGraph> GenerateDynamic(const DynamicConfig& config) {
+  if (config.num_vertices < 2) {
+    return Status::InvalidArgument("need at least 2 vertices");
+  }
+  if (config.num_timestamps < 1) {
+    return Status::InvalidArgument("need at least 1 timestamp");
+  }
+  Rng rng(config.seed);
+  DynamicGraphBuilder dgb(GraphSchema(), /*undirected=*/true);
+
+  // Small random feature so GNN models have an input signal.
+  for (VertexId v = 0; v < config.num_vertices; ++v) {
+    std::vector<float> feat(8);
+    for (float& f : feat) f = rng.NextFloat();
+    dgb.AddVertex(0, feat);
+  }
+
+  // Endpoint pool for preferential attachment: one entry per prior endpoint.
+  std::vector<VertexId> pool;
+  pool.reserve(config.base_edges * 2);
+  auto pick_pref = [&]() -> VertexId {
+    if (pool.empty() || rng.Bernoulli(0.2)) {
+      return static_cast<VertexId>(rng.Uniform(config.num_vertices));
+    }
+    return pool[rng.Uniform(pool.size())];
+  };
+  auto add = [&](VertexId a, VertexId b, Timestamp t,
+                 EvolutionKind kind) -> Status {
+    ALIGRAPH_RETURN_NOT_OK(dgb.AddEdge(a, b, t, 0, 1.0f, kind));
+    pool.push_back(a);
+    pool.push_back(b);
+    return Status::OK();
+  };
+
+  for (size_t e = 0; e < config.base_edges; ++e) {
+    const VertexId a = pick_pref();
+    const VertexId b = pick_pref();
+    if (a == b) continue;
+    ALIGRAPH_RETURN_NOT_OK(add(a, b, 1, EvolutionKind::kNormal));
+  }
+
+  for (Timestamp t = 2; t <= config.num_timestamps; ++t) {
+    for (size_t e = 0; e < config.normal_edges_per_step; ++e) {
+      const VertexId a = pick_pref();
+      const VertexId b = pick_pref();
+      if (a == b) continue;
+      ALIGRAPH_RETURN_NOT_OK(add(a, b, t, EvolutionKind::kNormal));
+    }
+    for (size_t burst = 0; burst < config.bursts_per_step; ++burst) {
+      // A burst floods one random (typically low-degree) hub with edges to
+      // uniformly random vertices — abnormal relative to preferential
+      // attachment.
+      const VertexId hub =
+          static_cast<VertexId>(rng.Uniform(config.num_vertices));
+      for (size_t e = 0; e < config.burst_size; ++e) {
+        const VertexId b =
+            static_cast<VertexId>(rng.Uniform(config.num_vertices));
+        if (b == hub) continue;
+        ALIGRAPH_RETURN_NOT_OK(add(hub, b, t, EvolutionKind::kBurst));
+      }
+    }
+  }
+  return dgb.Build();
+}
+
+}  // namespace gen
+}  // namespace aligraph

@@ -1,0 +1,40 @@
+/// \file dynamic_gen.h
+/// \brief Synthetic dynamic graphs with *normal* and *burst* evolution, the
+/// two edge-evolution classes the Evolving GNN distinguishes (Section 4.2).
+///
+/// Normal evolution adds edges by preferential attachment each timestamp —
+/// the "majority of reasonable changes". Bursts pick a random hub and attach
+/// a batch of edges to it within one timestamp — "rare and abnormal
+/// evolving edges".
+
+#ifndef ALIGRAPH_GEN_DYNAMIC_GEN_H_
+#define ALIGRAPH_GEN_DYNAMIC_GEN_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "graph/dynamic_graph.h"
+
+namespace aligraph {
+namespace gen {
+
+/// \brief Parameters of the synthetic dynamic graph.
+struct DynamicConfig {
+  VertexId num_vertices = 4000;
+  Timestamp num_timestamps = 6;
+  size_t base_edges = 16000;          ///< edges present at t = 1
+  size_t normal_edges_per_step = 2000;
+  size_t bursts_per_step = 1;         ///< number of burst events per step
+  size_t burst_size = 400;            ///< edges per burst event
+  uint64_t seed = 17;
+};
+
+/// Generates the dynamic graph. Every edge added after t = 1 carries its
+/// EvolutionKind label so evaluation can score normal and burst link
+/// prediction separately (Table 11).
+Result<DynamicGraph> GenerateDynamic(const DynamicConfig& config);
+
+}  // namespace gen
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_GEN_DYNAMIC_GEN_H_

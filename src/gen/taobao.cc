@@ -1,0 +1,279 @@
+#include "gen/taobao.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/random.h"
+
+namespace aligraph {
+namespace gen {
+namespace {
+
+// Draws one categorical attribute profile: dim quantized values derived from
+// the profile id, so equal profile ids produce bitwise-identical vectors
+// (which the AttributeStore then deduplicates).
+std::vector<float> ProfileAttributes(uint32_t profile, uint32_t dim) {
+  std::vector<float> attrs(dim);
+  uint64_t state = 0x9d2c5680u ^ (static_cast<uint64_t>(profile) << 17);
+  for (uint32_t i = 0; i < dim; ++i) {
+    attrs[i] = static_cast<float>(SplitMix64(state) % 16) / 15.0f;
+  }
+  return attrs;
+}
+
+// Power-law rank sample in [0, num_profiles): Zipf(1) via inverse CDF.
+uint32_t SampleZipf(uint32_t bound, Rng& rng) {
+  const double u = rng.NextDouble();
+  const double h = std::log1p(static_cast<double>(bound));
+  const uint32_t rank = static_cast<uint32_t>(std::expm1(u * h));
+  return std::min(rank, bound - 1);
+}
+
+std::vector<double> PowerLawWeights(VertexId n, double gamma, Rng& rng) {
+  const double alpha = 1.0 / (gamma - 1.0);
+  std::vector<double> w(n);
+  for (VertexId i = 0; i < n; ++i) {
+    w[i] = std::pow(static_cast<double>(i) + 1.0, -alpha);
+  }
+  for (VertexId i = n; i > 1; --i) std::swap(w[i - 1], w[rng.Uniform(i)]);
+  return w;
+}
+
+// Group-structured endpoint sampler: global alias table plus one alias
+// table per community over that community's members.
+class CommunitySampler {
+ public:
+  CommunitySampler(const std::vector<double>& weights,
+                   const std::vector<uint32_t>& group_of,
+                   uint32_t num_groups) {
+    global_.Build(weights);
+    members_.resize(num_groups);
+    std::vector<std::vector<double>> gw(num_groups);
+    for (size_t i = 0; i < weights.size(); ++i) {
+      members_[group_of[i]].push_back(static_cast<VertexId>(i));
+      gw[group_of[i]].push_back(weights[i]);
+    }
+    tables_.resize(num_groups);
+    for (uint32_t g = 0; g < num_groups; ++g) tables_[g].Build(gw[g]);
+  }
+
+  /// Samples a member of `group` (falls back to global when empty).
+  VertexId SampleInGroup(uint32_t group, Rng& rng) const {
+    if (tables_[group].empty()) return SampleGlobal(rng);
+    return members_[group][tables_[group].Sample(rng)];
+  }
+
+  VertexId SampleGlobal(Rng& rng) const {
+    return static_cast<VertexId>(global_.Sample(rng));
+  }
+
+ private:
+  AliasTable global_;
+  std::vector<std::vector<VertexId>> members_;
+  std::vector<AliasTable> tables_;
+};
+
+}  // namespace
+
+TaobaoConfig TaobaoSmallConfig(double scale) {
+  // Paper ratios (Table 3): 148M users : 9M items : 442M u-i : 224M i-i,
+  // shrunk ~7400x at scale 1.
+  TaobaoConfig cfg;
+  cfg.num_users = static_cast<VertexId>(20000 * scale);
+  cfg.num_items = static_cast<VertexId>(1200 * scale);
+  cfg.user_item_edges = static_cast<size_t>(60000 * scale);
+  cfg.item_item_edges = static_cast<size_t>(30000 * scale);
+  cfg.seed = 7;
+  return cfg;
+}
+
+TaobaoConfig TaobaoLargeConfig(double scale) {
+  // Paper ratios (Table 3): 483M users, 9.7M items, 6.59B u-i, 231M i-i —
+  // about 6x the storage of Taobao-small, dominated by user-item edges.
+  TaobaoConfig cfg;
+  cfg.num_users = static_cast<VertexId>(65000 * scale);
+  cfg.num_items = static_cast<VertexId>(1300 * scale);
+  cfg.user_item_edges = static_cast<size_t>(890000 * scale);
+  cfg.item_item_edges = static_cast<size_t>(31000 * scale);
+  cfg.seed = 11;
+  return cfg;
+}
+
+Result<AttributedGraph> Taobao(const TaobaoConfig& config) {
+  if (config.num_users == 0 || config.num_items == 0) {
+    return Status::InvalidArgument("Taobao graph needs users and items");
+  }
+  if (config.communities == 0) {
+    return Status::InvalidArgument("communities must be positive");
+  }
+  Rng rng(config.seed);
+
+  GraphSchema schema;
+  const VertexType user_t = schema.AddVertexType("user");
+  const VertexType item_t = schema.AddVertexType("item");
+  const EdgeType click = schema.AddEdgeType("click");
+  const EdgeType collect = schema.AddEdgeType("collect");
+  const EdgeType cart = schema.AddEdgeType("cart");
+  const EdgeType buy = schema.AddEdgeType("buy");
+  EdgeType co_occur = 0;
+  if (config.item_item_edges > 0) co_occur = schema.AddEdgeType("co_occur");
+
+  // Latent interest communities; attribute profiles correlate with the
+  // community so attributed models can exploit them.
+  const uint32_t C = config.communities;
+  std::vector<uint32_t> user_group(config.num_users);
+  std::vector<uint32_t> item_group(config.num_items);
+  for (auto& g : user_group) g = static_cast<uint32_t>(rng.Uniform(C));
+  for (auto& g : item_group) g = static_cast<uint32_t>(rng.Uniform(C));
+
+  auto group_profile = [&](uint32_t group) {
+    const uint32_t local =
+        SampleZipf(std::max<uint32_t>(config.attr_profiles / 8, 2), rng);
+    return (group * 7 + local) % config.attr_profiles;
+  };
+  // Community fingerprint written into dims [2, 10) of BOTH user and item
+  // attributes (fixed positions so the signal aligns across vertex types):
+  // the cross-type attribute correlation (user demographics <-> item
+  // segments) that attributed models exploit. Dims 0-1 stay free for the
+  // item brand/category metadata.
+  auto stamp_fingerprint = [&](std::vector<float>& attrs, uint32_t group) {
+    const std::vector<float> fp = ProfileAttributes(100000 + group, 8);
+    for (size_t i = 0; i < fp.size() && 2 + i < attrs.size(); ++i) {
+      attrs[2 + i] = fp[i];
+    }
+  };
+
+  GraphBuilder gb(schema);
+  for (VertexId u = 0; u < config.num_users; ++u) {
+    std::vector<float> attrs = ProfileAttributes(
+        group_profile(user_group[u]), config.user_attr_dim);
+    stamp_fingerprint(attrs, user_group[u]);
+    gb.AddVertex(user_t, attrs);
+  }
+  for (VertexId i = 0; i < config.num_items; ++i) {
+    const uint32_t profile =
+        config.attr_profiles + group_profile(item_group[i]);
+    std::vector<float> attrs =
+        ProfileAttributes(profile, config.item_attr_dim);
+    // Brand / category metadata in the first two dims (see taobao.h).
+    // Both derive from the item's interest community, mirroring real
+    // catalogs where brand and category segment the same demand structure
+    // that drives purchases — the correlation the Bayesian GNN exploits.
+    const uint32_t brands_per_group = std::max(1u, kNumBrands / C);
+    const uint32_t brand =
+        (item_group[i] * brands_per_group + profile % brands_per_group) %
+        kNumBrands;
+    const uint32_t category = item_group[i] % kNumCategories;
+    if (attrs.size() >= 2) {
+      attrs[0] = static_cast<float>(brand) / (kNumBrands - 1);
+      attrs[1] = static_cast<float>(category) / (kNumCategories - 1);
+    }
+    stamp_fingerprint(attrs, item_group[i]);
+    gb.AddVertex(item_t, attrs);
+  }
+
+  const std::vector<double> user_w =
+      PowerLawWeights(config.num_users, config.gamma, rng);
+  const std::vector<double> item_w =
+      PowerLawWeights(config.num_items, config.gamma, rng);
+  CommunitySampler users(user_w, user_group, C);
+  CommunitySampler items(item_w, item_group, C);
+
+  // Behaviour mix: clicks dominate, purchases are rare — matching the
+  // qualitative shape of e-commerce interaction data.
+  const EdgeType behaviours[4] = {click, collect, cart, buy};
+  const double behaviour_cdf[4] = {0.70, 0.80, 0.90, 1.00};
+
+  for (size_t e = 0; e < config.user_item_edges; ++e) {
+    const VertexId u = users.SampleGlobal(rng);
+    const bool in_group = rng.Bernoulli(config.community_affinity);
+    const VertexId i =
+        config.num_users + (in_group ? items.SampleInGroup(user_group[u], rng)
+                                     : items.SampleGlobal(rng));
+    const double r = rng.NextDouble();
+    EdgeType et = buy;
+    for (int b = 0; b < 4; ++b) {
+      if (r < behaviour_cdf[b]) {
+        et = behaviours[b];
+        break;
+      }
+    }
+    ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(u, i, et, 1.0f));
+    if (rng.Bernoulli(config.reverse_edge_prob)) {
+      ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(i, u, et, 1.0f));
+    }
+  }
+
+  for (size_t e = 0; e < config.item_item_edges; ++e) {
+    const VertexId a = items.SampleGlobal(rng);
+    const bool in_group = rng.Bernoulli(config.community_affinity);
+    const VertexId b = in_group ? items.SampleInGroup(item_group[a], rng)
+                                : items.SampleGlobal(rng);
+    if (a == b) continue;
+    ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(config.num_users + a,
+                                      config.num_users + b, co_occur, 1.0f));
+    if (rng.Bernoulli(config.reverse_edge_prob)) {
+      ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(config.num_users + b,
+                                        config.num_users + a, co_occur,
+                                        1.0f));
+    }
+  }
+  return gb.Build();
+}
+
+Result<AttributedGraph> Amazon(const AmazonConfig& config) {
+  if (config.num_products == 0) {
+    return Status::InvalidArgument("Amazon graph needs products");
+  }
+  if (config.communities == 0) {
+    return Status::InvalidArgument("communities must be positive");
+  }
+  Rng rng(config.seed);
+
+  GraphSchema schema;
+  const VertexType product_t = schema.AddVertexType("product");
+  const EdgeType co_view = schema.AddEdgeType("co_view");
+  const EdgeType co_buy = schema.AddEdgeType("co_buy");
+
+  const uint32_t C = config.communities;
+  std::vector<uint32_t> group(config.num_products);
+  for (auto& g : group) g = static_cast<uint32_t>(rng.Uniform(C));
+
+  GraphBuilder gb(schema, /*undirected=*/true);
+  for (VertexId v = 0; v < config.num_products; ++v) {
+    const uint32_t local =
+        SampleZipf(std::max<uint32_t>(config.attr_profiles / 8, 2), rng);
+    const uint32_t profile = (group[v] * 7 + local) % config.attr_profiles;
+    gb.AddVertex(product_t, ProfileAttributes(profile, config.attr_dim));
+  }
+
+  CommunitySampler products(
+      PowerLawWeights(config.num_products, config.gamma, rng), group, C);
+  for (size_t e = 0; e < config.num_edges; ++e) {
+    const VertexId a = products.SampleGlobal(rng);
+    const bool in_group = rng.Bernoulli(config.community_affinity);
+    const VertexId b = in_group ? products.SampleInGroup(group[a], rng)
+                                : products.SampleGlobal(rng);
+    if (a == b) continue;
+    const EdgeType et = rng.Bernoulli(0.6) ? co_view : co_buy;
+    ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(a, b, et, 1.0f));
+  }
+  return gb.Build();
+}
+
+uint32_t ItemBrand(const AttributedGraph& graph, VertexId item) {
+  const auto attrs = graph.VertexFeatures(item);
+  if (attrs.size() < 1) return 0;
+  return static_cast<uint32_t>(attrs[0] * (kNumBrands - 1) + 0.5f);
+}
+
+uint32_t ItemCategory(const AttributedGraph& graph, VertexId item) {
+  const auto attrs = graph.VertexFeatures(item);
+  if (attrs.size() < 2) return 0;
+  return static_cast<uint32_t>(attrs[1] * (kNumCategories - 1) + 0.5f);
+}
+
+}  // namespace gen
+}  // namespace aligraph

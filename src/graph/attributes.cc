@@ -1,0 +1,56 @@
+#include "graph/attributes.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace aligraph {
+namespace {
+
+uint64_t HashFloats(const std::vector<float>& values) {
+  uint64_t h = 0x243f6a8885a308d3ULL ^ values.size();
+  for (float f : values) {
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    h = Mix64(h ^ bits);
+  }
+  return h;
+}
+
+}  // namespace
+
+AttrId AttributeStore::Intern(const std::vector<float>& values) {
+  ++num_references_;
+  inlined_bytes_ += values.size() * sizeof(float);
+
+  const uint64_t h = HashFloats(values);
+  auto& bucket = hash_index_[h];
+  for (AttrId id : bucket) {
+    std::span<const float> existing = Get(id);
+    if (existing.size() == values.size() &&
+        std::memcmp(existing.data(), values.data(),
+                    values.size() * sizeof(float)) == 0) {
+      return id;
+    }
+  }
+
+  const AttrId id = static_cast<AttrId>(offsets_.size());
+  offsets_.push_back(data_.size());
+  lengths_.push_back(static_cast<uint32_t>(values.size()));
+  data_.insert(data_.end(), values.begin(), values.end());
+  bucket.push_back(id);
+  return id;
+}
+
+std::span<const float> AttributeStore::Get(AttrId id) const {
+  ALIGRAPH_CHECK_LT(id, offsets_.size());
+  return {data_.data() + offsets_[id], lengths_[id]};
+}
+
+size_t AttributeStore::DedupBytes() const {
+  return data_.size() * sizeof(float) + offsets_.size() * sizeof(uint64_t) +
+         lengths_.size() * sizeof(uint32_t);
+}
+
+}  // namespace aligraph

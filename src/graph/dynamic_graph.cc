@@ -1,0 +1,68 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aligraph {
+
+const AttributedGraph& DynamicGraph::Snapshot(Timestamp t) const {
+  ALIGRAPH_CHECK_GE(t, 1u);
+  ALIGRAPH_CHECK_LE(t, snapshots_.size());
+  return snapshots_[t - 1];
+}
+
+const std::vector<DynamicEdge>& DynamicGraph::DeltaAt(Timestamp t) const {
+  ALIGRAPH_CHECK_GE(t, 1u);
+  ALIGRAPH_CHECK_LE(t, deltas_.size());
+  return deltas_[t - 1];
+}
+
+VertexId DynamicGraphBuilder::AddVertex(VertexType type,
+                                        const std::vector<float>& attributes) {
+  vertices_.push_back({type, attributes});
+  return static_cast<VertexId>(vertices_.size() - 1);
+}
+
+Status DynamicGraphBuilder::AddEdge(VertexId src, VertexId dst, Timestamp time,
+                                    EdgeType type, float weight,
+                                    EvolutionKind kind) {
+  if (src >= vertices_.size() || dst >= vertices_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (time < 1) return Status::InvalidArgument("timestamps start at 1");
+  DynamicEdge de;
+  de.edge = RawEdge{src, dst, type, weight, kNoAttr};
+  de.time = time;
+  de.kind = kind;
+  edges_.push_back(de);
+  max_time_ = std::max(max_time_, time);
+  return Status::OK();
+}
+
+Result<DynamicGraph> DynamicGraphBuilder::Build() {
+  DynamicGraph dg;
+  dg.deltas_.resize(max_time_);
+  for (const DynamicEdge& e : edges_) {
+    dg.deltas_[e.time - 1].push_back(e);
+  }
+
+  // Snapshot t accumulates every delta with time <= t. Each snapshot is an
+  // independent AttributedGraph built from scratch; O(T*m) total, fine for
+  // the handful of snapshots the evolving experiments use.
+  for (Timestamp t = 1; t <= max_time_; ++t) {
+    GraphBuilder gb(schema_, undirected_);
+    for (const auto& vd : vertices_) gb.AddVertex(vd.type, vd.attributes);
+    for (Timestamp s = 1; s <= t; ++s) {
+      for (const DynamicEdge& e : dg.deltas_[s - 1]) {
+        ALIGRAPH_RETURN_NOT_OK(gb.AddEdge(e.edge.src, e.edge.dst, e.edge.type,
+                                          e.edge.weight));
+      }
+    }
+    ALIGRAPH_ASSIGN_OR_RETURN(AttributedGraph snap, gb.Build());
+    dg.snapshots_.push_back(std::move(snap));
+  }
+  return dg;
+}
+
+}  // namespace aligraph

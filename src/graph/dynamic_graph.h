@@ -1,0 +1,82 @@
+/// \file dynamic_graph.h
+/// \brief Dynamic graphs: a sequence of snapshots G(1)..G(T) (Section 2)
+/// with per-timestamp edge deltas labeled *normal* or *burst*, the two
+/// evolution classes the Evolving GNN model distinguishes (Section 4.2).
+
+#ifndef ALIGRAPH_GRAPH_DYNAMIC_GRAPH_H_
+#define ALIGRAPH_GRAPH_DYNAMIC_GRAPH_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace aligraph {
+
+/// \brief Whether a dynamic edge belongs to the normal evolution of the
+/// graph or to a rare, abnormal burst.
+enum class EvolutionKind : uint8_t { kNormal = 0, kBurst = 1 };
+
+/// \brief An edge added at a specific timestamp.
+struct DynamicEdge {
+  RawEdge edge;
+  Timestamp time = 1;
+  EvolutionKind kind = EvolutionKind::kNormal;
+};
+
+/// \brief A fixed vertex set whose edge set grows over T timestamps.
+///
+/// Snapshot t contains every edge with time <= t. Snapshots are materialized
+/// eagerly at Build() so algorithms can treat each as a plain
+/// AttributedGraph.
+class DynamicGraph {
+ public:
+  Timestamp num_timestamps() const {
+    return static_cast<Timestamp>(snapshots_.size());
+  }
+
+  /// Snapshot at timestamp t in [1, T].
+  const AttributedGraph& Snapshot(Timestamp t) const;
+
+  /// Edges that appeared exactly at timestamp t.
+  const std::vector<DynamicEdge>& DeltaAt(Timestamp t) const;
+
+ private:
+  friend class DynamicGraphBuilder;
+  std::vector<AttributedGraph> snapshots_;            // index t-1
+  std::vector<std::vector<DynamicEdge>> deltas_;      // index t-1
+};
+
+/// \brief Builder: declare the vertex universe, then add timestamped edges.
+class DynamicGraphBuilder {
+ public:
+  explicit DynamicGraphBuilder(GraphSchema schema = GraphSchema(),
+                               bool undirected = false)
+      : schema_(schema), undirected_(undirected) {}
+
+  VertexId AddVertex(VertexType type = 0,
+                     const std::vector<float>& attributes = {});
+
+  Status AddEdge(VertexId src, VertexId dst, Timestamp time,
+                 EdgeType type = 0, float weight = 1.0f,
+                 EvolutionKind kind = EvolutionKind::kNormal);
+
+  /// Materializes T snapshots, T = max timestamp seen (at least 1).
+  Result<DynamicGraph> Build();
+
+ private:
+  struct VertexDecl {
+    VertexType type;
+    std::vector<float> attributes;
+  };
+
+  GraphSchema schema_;
+  bool undirected_;
+  std::vector<VertexDecl> vertices_;
+  std::vector<DynamicEdge> edges_;
+  Timestamp max_time_ = 1;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_GRAPH_DYNAMIC_GRAPH_H_

@@ -1,0 +1,138 @@
+#include "graph/graph.h"
+
+#include <sstream>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace aligraph {
+
+Csr::Csr(VertexId num_vertices,
+         const std::vector<std::pair<VertexId, Neighbor>>& edges) {
+  offsets_.assign(static_cast<size_t>(num_vertices) + 1, 0);
+  for (const auto& [src, nb] : edges) {
+    ALIGRAPH_CHECK_LT(src, num_vertices);
+    ++offsets_[src + 1];
+  }
+  for (size_t i = 1; i < offsets_.size(); ++i) offsets_[i] += offsets_[i - 1];
+  neighbors_.resize(edges.size());
+  std::vector<uint64_t> cursor(offsets_.begin(), offsets_.end() - 1);
+  for (const auto& [src, nb] : edges) {
+    neighbors_[cursor[src]++] = nb;
+  }
+}
+
+std::span<const VertexId> AttributedGraph::VerticesOfType(VertexType t) const {
+  ALIGRAPH_CHECK_LT(t, vertices_by_type_.size());
+  return vertices_by_type_[t];
+}
+
+size_t AttributedGraph::MemoryBytes() const {
+  size_t bytes = out_all_.MemoryBytes() + in_all_.MemoryBytes();
+  for (const auto& c : out_by_type_) bytes += c.MemoryBytes();
+  for (const auto& c : in_by_type_) bytes += c.MemoryBytes();
+  bytes += vertex_type_.size() * sizeof(VertexType);
+  bytes += vertex_attr_.size() * sizeof(AttrId);
+  bytes += vertex_store_.DedupBytes() + edge_store_.DedupBytes();
+  return bytes;
+}
+
+std::string AttributedGraph::ToString() const {
+  std::ostringstream os;
+  os << "AttributedGraph{n=" << num_vertices() << " m=" << num_edges_
+     << " vtypes=" << schema_.num_vertex_types()
+     << " etypes=" << schema_.num_edge_types()
+     << " bytes=" << MemoryBytes() << "}";
+  return os.str();
+}
+
+VertexId GraphBuilder::AddVertex(VertexType type,
+                                 const std::vector<float>& attributes) {
+  ALIGRAPH_CHECK_LT(type, schema_.num_vertex_types());
+  const VertexId id = static_cast<VertexId>(vertex_type_.size());
+  vertex_type_.push_back(type);
+  vertex_attr_.push_back(attributes.empty() ? kNoAttr
+                                            : vertex_store_.Intern(attributes));
+  return id;
+}
+
+Status GraphBuilder::AddEdge(VertexId src, VertexId dst, EdgeType type,
+                             float weight,
+                             const std::vector<float>& attributes) {
+  if (src >= vertex_type_.size() || dst >= vertex_type_.size()) {
+    return Status::InvalidArgument("edge endpoint out of range");
+  }
+  if (type >= schema_.num_edge_types()) {
+    return Status::InvalidArgument("unregistered edge type");
+  }
+  if (weight < 0) {
+    return Status::InvalidArgument("edge weight must be non-negative");
+  }
+  RawEdge e;
+  e.src = src;
+  e.dst = dst;
+  e.type = type;
+  e.weight = weight;
+  e.attr = attributes.empty() ? kNoAttr : edge_store_.Intern(attributes);
+  edges_.push_back(e);
+  return Status::OK();
+}
+
+Result<AttributedGraph> GraphBuilder::Build() {
+  AttributedGraph g;
+  g.schema_ = std::move(schema_);
+  g.undirected_ = undirected_;
+  g.vertex_type_ = std::move(vertex_type_);
+  g.vertex_attr_ = std::move(vertex_attr_);
+  g.vertex_store_ = std::move(vertex_store_);
+  g.edge_store_ = std::move(edge_store_);
+  g.num_edges_ = edges_.size();
+
+  const VertexId n = static_cast<VertexId>(g.vertex_type_.size());
+  const size_t num_types = g.schema_.num_edge_types();
+
+  g.vertices_by_type_.resize(g.schema_.num_vertex_types());
+  for (VertexId v = 0; v < n; ++v) {
+    g.vertices_by_type_[g.vertex_type_[v]].push_back(v);
+  }
+
+  // Assemble (src, Neighbor) pair lists, one per direction and per type,
+  // plus the merged lists. Undirected graphs mirror every edge.
+  std::vector<std::pair<VertexId, Neighbor>> out_pairs, in_pairs;
+  std::vector<std::vector<std::pair<VertexId, Neighbor>>> out_t(num_types),
+      in_t(num_types);
+  const size_t mult = undirected_ ? 2 : 1;
+  out_pairs.reserve(edges_.size() * mult);
+  in_pairs.reserve(edges_.size() * mult);
+
+  auto add_one = [&](VertexId src, VertexId dst, const RawEdge& e) {
+    const Neighbor fwd{dst, e.weight, e.attr};
+    out_pairs.emplace_back(src, fwd);
+    out_t[e.type].emplace_back(src, fwd);
+    const Neighbor bwd{src, e.weight, e.attr};
+    in_pairs.emplace_back(dst, bwd);
+    in_t[e.type].emplace_back(dst, bwd);
+  };
+
+  for (const RawEdge& e : edges_) {
+    add_one(e.src, e.dst, e);
+    if (undirected_ && e.src != e.dst) {
+      RawEdge rev = e;
+      add_one(e.dst, e.src, rev);
+    }
+  }
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  g.out_all_ = Csr(n, out_pairs);
+  g.in_all_ = Csr(n, in_pairs);
+  g.out_by_type_.reserve(num_types);
+  g.in_by_type_.reserve(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    g.out_by_type_.emplace_back(n, out_t[t]);
+    g.in_by_type_.emplace_back(n, in_t[t]);
+  }
+  return g;
+}
+
+}  // namespace aligraph

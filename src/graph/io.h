@@ -1,0 +1,32 @@
+/// \file io.h
+/// \brief Binary serialization of AttributedGraphs, so built graphs (and
+/// the synthetic benchmark datasets) can be saved once and reloaded by
+/// every worker — the "various kinds of raw data from different file
+/// systems" entry point of the paper's build pipeline, reduced to one
+/// self-describing binary format.
+///
+/// Format (little-endian): magic "ALGR", version u32, flags u32
+/// (bit 0 = undirected), vertex/edge-type name tables, vertex records
+/// (type + attribute vector) and edge records (src, dst, type, weight).
+/// Edge attributes are round-tripped through the deduplicating
+/// AttributeStore on load.
+
+#ifndef ALIGRAPH_GRAPH_IO_H_
+#define ALIGRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace aligraph {
+
+/// Writes the graph to `path`. Overwrites any existing file.
+Status SaveGraph(const AttributedGraph& graph, const std::string& path);
+
+/// Reads a graph previously written by SaveGraph.
+Result<AttributedGraph> LoadGraph(const std::string& path);
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_GRAPH_IO_H_

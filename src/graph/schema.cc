@@ -1,0 +1,56 @@
+#include "graph/schema.h"
+
+#include "common/logging.h"
+
+namespace aligraph {
+
+GraphSchema::GraphSchema() {
+  AddVertexType("vertex");
+  AddEdgeType("edge");
+}
+
+VertexType GraphSchema::AddVertexType(const std::string& name) {
+  auto it = vertex_ids_.find(name);
+  if (it != vertex_ids_.end()) return it->second;
+  const VertexType id = static_cast<VertexType>(vertex_names_.size());
+  vertex_names_.push_back(name);
+  vertex_ids_[name] = id;
+  return id;
+}
+
+EdgeType GraphSchema::AddEdgeType(const std::string& name) {
+  auto it = edge_ids_.find(name);
+  if (it != edge_ids_.end()) return it->second;
+  const EdgeType id = static_cast<EdgeType>(edge_names_.size());
+  edge_names_.push_back(name);
+  edge_ids_[name] = id;
+  return id;
+}
+
+Result<VertexType> GraphSchema::VertexTypeId(const std::string& name) const {
+  auto it = vertex_ids_.find(name);
+  if (it == vertex_ids_.end()) {
+    return Status::NotFound("vertex type: " + name);
+  }
+  return it->second;
+}
+
+Result<EdgeType> GraphSchema::EdgeTypeId(const std::string& name) const {
+  auto it = edge_ids_.find(name);
+  if (it == edge_ids_.end()) {
+    return Status::NotFound("edge type: " + name);
+  }
+  return it->second;
+}
+
+const std::string& GraphSchema::VertexTypeName(VertexType t) const {
+  ALIGRAPH_CHECK_LT(t, vertex_names_.size());
+  return vertex_names_[t];
+}
+
+const std::string& GraphSchema::EdgeTypeName(EdgeType t) const {
+  ALIGRAPH_CHECK_LT(t, edge_names_.size());
+  return edge_names_[t];
+}
+
+}  // namespace aligraph

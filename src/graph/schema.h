@@ -1,0 +1,56 @@
+/// \file schema.h
+/// \brief Named registry of vertex and edge types (the TV / TE mapping
+/// functions' codomains FV and FE of an attributed heterogeneous graph).
+
+#ifndef ALIGRAPH_GRAPH_SCHEMA_H_
+#define ALIGRAPH_GRAPH_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/types.h"
+
+namespace aligraph {
+
+/// \brief Bidirectional name <-> id registry for vertex and edge types.
+///
+/// A simple homogeneous graph uses the default schema with one vertex type
+/// ("vertex") and one edge type ("edge"). An AHG per the paper's definition
+/// has |FV| >= 2 and/or |FE| >= 2.
+class GraphSchema {
+ public:
+  /// Creates a schema with the default single vertex/edge type.
+  GraphSchema();
+
+  /// Registers a vertex type name; returns the existing id if present.
+  VertexType AddVertexType(const std::string& name);
+  /// Registers an edge type name; returns the existing id if present.
+  EdgeType AddEdgeType(const std::string& name);
+
+  /// Lookup by name; NotFound when unregistered.
+  Result<VertexType> VertexTypeId(const std::string& name) const;
+  Result<EdgeType> EdgeTypeId(const std::string& name) const;
+
+  const std::string& VertexTypeName(VertexType t) const;
+  const std::string& EdgeTypeName(EdgeType t) const;
+
+  size_t num_vertex_types() const { return vertex_names_.size(); }
+  size_t num_edge_types() const { return edge_names_.size(); }
+
+  /// True iff the schema is heterogeneous per the paper's definition.
+  bool IsHeterogeneous() const {
+    return num_vertex_types() >= 2 || num_edge_types() >= 2;
+  }
+
+ private:
+  std::vector<std::string> vertex_names_;
+  std::vector<std::string> edge_names_;
+  std::unordered_map<std::string, VertexType> vertex_ids_;
+  std::unordered_map<std::string, EdgeType> edge_ids_;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_GRAPH_SCHEMA_H_

@@ -1,0 +1,47 @@
+/// \file types.h
+/// \brief Fundamental identifier types of the AliGraph data model
+/// (Section 2 of the paper: attributed heterogeneous graphs).
+
+#ifndef ALIGRAPH_GRAPH_TYPES_H_
+#define ALIGRAPH_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace aligraph {
+
+/// Dense vertex identifier in [0, n). 32 bits bounds a single graph at ~4.2
+/// billion vertices, comfortably above the paper's 493M-vertex Taobao-large.
+using VertexId = uint32_t;
+
+/// Identifier of a vertex type (e.g. "user", "item"); FV in the paper.
+using VertexType = uint16_t;
+
+/// Identifier of an edge type (e.g. "click", "buy"); FE in the paper.
+using EdgeType = uint16_t;
+
+/// Index into an AttributeStore: one deduplicated attribute record.
+using AttrId = uint32_t;
+
+/// Identifier of a worker / graph server in the (simulated) cluster.
+using WorkerId = uint32_t;
+
+/// Discrete timestamp of a dynamic-graph snapshot (1..T in the paper).
+using Timestamp = uint32_t;
+
+inline constexpr VertexId kInvalidVertex =
+    std::numeric_limits<VertexId>::max();
+inline constexpr AttrId kNoAttr = std::numeric_limits<AttrId>::max();
+
+/// \brief One raw edge as fed to the graph builder.
+struct RawEdge {
+  VertexId src = 0;
+  VertexId dst = 0;
+  EdgeType type = 0;
+  float weight = 1.0f;
+  AttrId attr = kNoAttr;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_GRAPH_TYPES_H_

@@ -1,0 +1,200 @@
+#include "nn/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace aligraph {
+namespace nn {
+
+Matrix Matrix::Xavier(size_t rows, size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const float bound = std::sqrt(6.0f / static_cast<float>(rows + cols));
+  for (float& v : m.data_) v = (rng.NextFloat() * 2.0f - 1.0f) * bound;
+  return m;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, float stddev, Rng& rng) {
+  Matrix m(rows, cols);
+  for (float& v : m.data_) {
+    v = static_cast<float>(rng.NextGaussian()) * stddev;
+  }
+  return m;
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  ALIGRAPH_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  ALIGRAPH_CHECK_EQ(size(), other.size());
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(float s) {
+  for (float& v : data_) v *= s;
+  return *this;
+}
+
+float Matrix::SquaredNorm() const {
+  float acc = 0;
+  for (float v : data_) acc += v * v;
+  return acc;
+}
+
+std::string Matrix::ShapeString() const {
+  std::ostringstream os;
+  os << "[" << rows_ << "x" << cols_ << "]";
+  return os.str();
+}
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  ALIGRAPH_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order: streams through b and c rows, cache friendly.
+  for (size_t i = 0; i < a.rows(); ++i) {
+    float* crow = c.Row(i).data();
+    for (size_t k = 0; k < a.cols(); ++k) {
+      const float aik = a.At(i, k);
+      if (aik == 0.0f) continue;
+      const float* brow = b.Row(k).data();
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  ALIGRAPH_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t j = 0; j < b.rows(); ++j) {
+      c.At(i, j) = Dot(a.Row(i), b.Row(j));
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  ALIGRAPH_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  for (size_t k = 0; k < a.rows(); ++k) {
+    const float* arow = a.Row(k).data();
+    const float* brow = b.Row(k).data();
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const float aki = arow[i];
+      if (aki == 0.0f) continue;
+      float* crow = c.Row(i).data();
+      for (size_t j = 0; j < b.cols(); ++j) crow[j] += aki * brow[j];
+    }
+  }
+  return c;
+}
+
+void AddBiasRow(Matrix& a, const Matrix& bias) {
+  ALIGRAPH_CHECK_EQ(bias.rows(), 1u);
+  ALIGRAPH_CHECK_EQ(bias.cols(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    float* row = a.Row(i).data();
+    const float* b = bias.Row(0).data();
+    for (size_t j = 0; j < a.cols(); ++j) row[j] += b[j];
+  }
+}
+
+void ReluInPlace(Matrix& a) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (float& v : a.Row(i)) v = std::max(v, 0.0f);
+  }
+}
+
+Matrix ReluBackward(const Matrix& output, const Matrix& grad) {
+  Matrix g = grad;
+  for (size_t i = 0; i < g.rows(); ++i) {
+    auto out = output.Row(i);
+    auto row = g.Row(i);
+    for (size_t j = 0; j < row.size(); ++j) {
+      if (out[j] <= 0.0f) row[j] = 0.0f;
+    }
+  }
+  return g;
+}
+
+void TanhInPlace(Matrix& a) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (float& v : a.Row(i)) v = std::tanh(v);
+  }
+}
+
+Matrix TanhBackward(const Matrix& output, const Matrix& grad) {
+  Matrix g = grad;
+  for (size_t i = 0; i < g.rows(); ++i) {
+    auto out = output.Row(i);
+    auto row = g.Row(i);
+    for (size_t j = 0; j < row.size(); ++j) row[j] *= 1.0f - out[j] * out[j];
+  }
+  return g;
+}
+
+void SigmoidInPlace(Matrix& a) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (float& v : a.Row(i)) v = 1.0f / (1.0f + std::exp(-v));
+  }
+}
+
+void L2NormalizeRows(Matrix& a) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.Row(i);
+    float norm = 0;
+    for (float v : row) norm += v * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12f) continue;
+    for (float& v : row) v /= norm;
+  }
+}
+
+void SoftmaxRows(Matrix& a) {
+  for (size_t i = 0; i < a.rows(); ++i) {
+    auto row = a.Row(i);
+    float mx = row[0];
+    for (float v : row) mx = std::max(mx, v);
+    float sum = 0;
+    for (float& v : row) {
+      v = std::exp(v - mx);
+      sum += v;
+    }
+    for (float& v : row) v /= sum;
+  }
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  ALIGRAPH_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    auto out = c.Row(i);
+    auto ra = a.Row(i);
+    auto rb = b.Row(i);
+    std::copy(ra.begin(), ra.end(), out.begin());
+    std::copy(rb.begin(), rb.end(), out.begin() + ra.size());
+  }
+  return c;
+}
+
+float Dot(std::span<const float> a, std::span<const float> b) {
+  ALIGRAPH_CHECK_EQ(a.size(), b.size());
+  float acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void Axpy(float alpha, std::span<const float> x, std::span<float> y) {
+  ALIGRAPH_CHECK_EQ(x.size(), y.size());
+  for (size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+}  // namespace nn
+}  // namespace aligraph

@@ -1,0 +1,54 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+namespace aligraph {
+namespace nn {
+
+void Sgd::Step(Param& param) {
+  float* w = param.value.data();
+  float* g = param.grad.data();
+  for (size_t i = 0; i < param.value.size(); ++i) {
+    w[i] -= lr_ * g[i];
+  }
+  param.ZeroGrad();
+}
+
+void AdaGrad::Step(Param& param) {
+  if (param.m.empty()) {
+    param.m = Matrix(param.value.rows(), param.value.cols());
+  }
+  float* w = param.value.data();
+  float* g = param.grad.data();
+  float* acc = param.m.data();
+  for (size_t i = 0; i < param.value.size(); ++i) {
+    acc[i] += g[i] * g[i];
+    w[i] -= lr_ * g[i] / (std::sqrt(acc[i]) + eps_);
+  }
+  param.ZeroGrad();
+}
+
+void Adam::Step(Param& param) {
+  if (param.m.empty()) {
+    param.m = Matrix(param.value.rows(), param.value.cols());
+    param.v = Matrix(param.value.rows(), param.value.cols());
+  }
+  ++t_;
+  const float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  const float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  float* w = param.value.data();
+  float* g = param.grad.data();
+  float* m = param.m.data();
+  float* v = param.v.data();
+  for (size_t i = 0; i < param.value.size(); ++i) {
+    m[i] = beta1_ * m[i] + (1.0f - beta1_) * g[i];
+    v[i] = beta2_ * v[i] + (1.0f - beta2_) * g[i] * g[i];
+    const float mhat = m[i] / bc1;
+    const float vhat = v[i] / bc2;
+    w[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+  param.ZeroGrad();
+}
+
+}  // namespace nn
+}  // namespace aligraph

@@ -1,0 +1,88 @@
+/// \file optimizer.h
+/// \brief Trainable parameters and the SGD / AdaGrad / Adam update rules
+/// used by every model in the algorithm layer.
+
+#ifndef ALIGRAPH_NN_OPTIMIZER_H_
+#define ALIGRAPH_NN_OPTIMIZER_H_
+
+#include <memory>
+#include <string>
+
+#include "nn/matrix.h"
+
+namespace aligraph {
+namespace nn {
+
+/// \brief A dense parameter with its gradient accumulator and (lazily
+/// allocated) optimizer state.
+struct Param {
+  Matrix value;
+  Matrix grad;
+  Matrix m;  ///< first-moment / accumulator state
+  Matrix v;  ///< second-moment state (Adam only)
+
+  explicit Param(Matrix initial)
+      : value(std::move(initial)), grad(value.rows(), value.cols()) {}
+
+  void ZeroGrad() { grad.Fill(0.0f); }
+};
+
+/// \brief Update-rule interface. Implementations consume and clear the
+/// accumulated gradient.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  virtual std::string name() const = 0;
+  virtual void Step(Param& param) = 0;
+
+  void set_learning_rate(float lr) { lr_ = lr; }
+  float learning_rate() const { return lr_; }
+
+ protected:
+  float lr_ = 0.05f;
+};
+
+/// \brief Plain SGD: w -= lr * g.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr = 0.05f) { lr_ = lr; }
+  std::string name() const override { return "sgd"; }
+  void Step(Param& param) override;
+};
+
+/// \brief AdaGrad: per-weight learning-rate decay by accumulated squared
+/// gradients.
+class AdaGrad : public Optimizer {
+ public:
+  explicit AdaGrad(float lr = 0.05f, float eps = 1e-8f) : eps_(eps) {
+    lr_ = lr;
+  }
+  std::string name() const override { return "adagrad"; }
+  void Step(Param& param) override;
+
+ private:
+  float eps_;
+};
+
+/// \brief Adam with bias correction.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr = 0.01f, float beta1 = 0.9f, float beta2 = 0.999f,
+                float eps = 1e-8f)
+      : beta1_(beta1), beta2_(beta2), eps_(eps) {
+    lr_ = lr;
+  }
+  std::string name() const override { return "adam"; }
+  void Step(Param& param) override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float eps_;
+  int64_t t_ = 0;
+};
+
+}  // namespace nn
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_NN_OPTIMIZER_H_

@@ -1,0 +1,66 @@
+/// \file skipgram.h
+/// \brief Skip-gram with negative sampling (SGNS) — the training engine
+/// behind DeepWalk, Node2Vec, LINE, Metapath2Vec, PMNE, MVE, MNE and the
+/// random-walk part of GATNE.
+
+#ifndef ALIGRAPH_NN_SKIPGRAM_H_
+#define ALIGRAPH_NN_SKIPGRAM_H_
+
+#include <vector>
+
+#include "nn/layers.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace nn {
+
+/// \brief SGNS options.
+struct SkipGramConfig {
+  size_t dim = 32;
+  uint32_t window = 2;
+  uint32_t negatives = 4;
+  float learning_rate = 0.05f;
+  uint32_t epochs = 2;
+  uint64_t seed = 6;
+};
+
+/// \brief Two-table SGNS model: "in" embeddings are the output
+/// representation, "out" embeddings are the context table.
+class SkipGramModel {
+ public:
+  SkipGramModel(size_t num_vertices, const SkipGramConfig& config);
+
+  /// One (center, context) update with negative samples drawn from
+  /// `negative_sampler`. Returns the pair's loss.
+  float TrainPair(VertexId center, VertexId context,
+                  NegativeSampler& negative_sampler);
+
+  /// Trains over a walk corpus with the configured window. Returns the
+  /// average loss of the final epoch.
+  float TrainWalks(const std::vector<std::vector<VertexId>>& walks,
+                   NegativeSampler& negative_sampler);
+
+  /// Trains directly on an edge list (LINE first-order style).
+  float TrainEdges(const std::vector<std::pair<VertexId, VertexId>>& edges,
+                   NegativeSampler& negative_sampler, uint32_t epochs);
+
+  const EmbeddingTable& embeddings() const { return in_; }
+  EmbeddingTable& mutable_embeddings() { return in_; }
+  const EmbeddingTable& context_embeddings() const { return out_; }
+  EmbeddingTable& mutable_context_embeddings() { return out_; }
+
+ private:
+  float SgnsUpdate(VertexId center, VertexId context,
+                   std::span<const VertexId> negatives);
+
+  SkipGramConfig config_;
+  Rng rng_;
+  EmbeddingTable in_;
+  EmbeddingTable out_;
+  std::vector<float> center_grad_;  // scratch, avoids per-pair allocation
+};
+
+}  // namespace nn
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_NN_SKIPGRAM_H_

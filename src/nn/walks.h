@@ -1,0 +1,49 @@
+/// \file walks.h
+/// \brief Random-walk corpus generators: uniform (DeepWalk), biased
+/// (Node2Vec p/q) and metapath-constrained (Metapath2Vec) walks.
+
+#ifndef ALIGRAPH_NN_WALKS_H_
+#define ALIGRAPH_NN_WALKS_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "graph/graph.h"
+
+namespace aligraph {
+namespace nn {
+
+/// \brief Walk-corpus options.
+struct WalkConfig {
+  uint32_t walks_per_vertex = 4;
+  uint32_t walk_length = 10;
+  uint64_t seed = 5;
+};
+
+/// Uniform random walks over the merged adjacency (DeepWalk).
+std::vector<std::vector<VertexId>> UniformWalks(const AttributedGraph& graph,
+                                                const WalkConfig& config);
+
+/// Node2Vec second-order walks: return weight 1/p, in-neighborhood weight 1,
+/// outward weight 1/q.
+std::vector<std::vector<VertexId>> Node2VecWalks(const AttributedGraph& graph,
+                                                 const WalkConfig& config,
+                                                 double p, double q);
+
+/// Metapath-constrained walks: step i follows an edge of type
+/// metapath[i % metapath.size()]; walks stop early when no such edge exists.
+std::vector<std::vector<VertexId>> MetapathWalks(
+    const AttributedGraph& graph, const WalkConfig& config,
+    const std::vector<EdgeType>& metapath,
+    const std::vector<VertexId>& start_vertices);
+
+/// Walks restricted to edges of a single type (one layer of a multiplex
+/// network, as used by PMNE / MNE / GATNE).
+std::vector<std::vector<VertexId>> LayerWalks(const AttributedGraph& graph,
+                                              const WalkConfig& config,
+                                              EdgeType layer);
+
+}  // namespace nn
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_NN_WALKS_H_

@@ -1,0 +1,42 @@
+#include "ops/hop_cache.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace aligraph {
+namespace ops {
+
+std::span<const float> HopEmbeddingCache::Lookup(int hop, VertexId v) {
+  auto it = index_.find(Key(hop, v));
+  if (it == index_.end()) {
+    ++misses_;
+    return {};
+  }
+  ++hits_;
+  return {storage_.data() + it->second, dim_};
+}
+
+void HopEmbeddingCache::Insert(int hop, VertexId v,
+                               std::span<const float> row) {
+  ALIGRAPH_CHECK_EQ(row.size(), dim_);
+  const uint64_t key = Key(hop, v);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    const size_t offset = storage_.size();
+    storage_.insert(storage_.end(), row.begin(), row.end());
+    index_[key] = offset;
+  } else {
+    std::copy(row.begin(), row.end(), storage_.begin() + it->second);
+  }
+}
+
+void HopEmbeddingCache::Reset() {
+  index_.clear();
+  storage_.clear();
+  hits_ = 0;
+  misses_ = 0;
+}
+
+}  // namespace ops
+}  // namespace aligraph

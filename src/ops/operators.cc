@@ -1,0 +1,152 @@
+#include "ops/operators.h"
+
+#include "common/logging.h"
+
+namespace aligraph {
+namespace ops {
+
+using nn::Matrix;
+
+Matrix MeanAggregator::Forward(const Matrix& neighbors, size_t fan) {
+  ALIGRAPH_CHECK_GT(fan, 0u);
+  ALIGRAPH_CHECK_EQ(neighbors.rows() % fan, 0u);
+  fan_ = fan;
+  const size_t batch = neighbors.rows() / fan;
+  const size_t d = neighbors.cols();
+  Matrix out(batch, d);
+  const float inv = 1.0f / static_cast<float>(fan);
+  for (size_t b = 0; b < batch; ++b) {
+    auto dst = out.Row(b);
+    for (size_t f = 0; f < fan; ++f) {
+      nn::Axpy(inv, neighbors.Row(b * fan + f), dst);
+    }
+  }
+  return out;
+}
+
+Matrix MeanAggregator::Backward(const Matrix& grad_out) {
+  const size_t batch = grad_out.rows();
+  Matrix grad(batch * fan_, grad_out.cols());
+  const float inv = 1.0f / static_cast<float>(fan_);
+  for (size_t b = 0; b < batch; ++b) {
+    auto src = grad_out.Row(b);
+    for (size_t f = 0; f < fan_; ++f) {
+      nn::Axpy(inv, src, grad.Row(b * fan_ + f));
+    }
+  }
+  return grad;
+}
+
+Matrix SumAggregator::Forward(const Matrix& neighbors, size_t fan) {
+  ALIGRAPH_CHECK_GT(fan, 0u);
+  ALIGRAPH_CHECK_EQ(neighbors.rows() % fan, 0u);
+  fan_ = fan;
+  const size_t batch = neighbors.rows() / fan;
+  Matrix out(batch, neighbors.cols());
+  for (size_t b = 0; b < batch; ++b) {
+    auto dst = out.Row(b);
+    for (size_t f = 0; f < fan; ++f) {
+      nn::Axpy(1.0f, neighbors.Row(b * fan + f), dst);
+    }
+  }
+  return out;
+}
+
+Matrix SumAggregator::Backward(const Matrix& grad_out) {
+  const size_t batch = grad_out.rows();
+  Matrix grad(batch * fan_, grad_out.cols());
+  for (size_t b = 0; b < batch; ++b) {
+    auto src = grad_out.Row(b);
+    for (size_t f = 0; f < fan_; ++f) {
+      nn::Axpy(1.0f, src, grad.Row(b * fan_ + f));
+    }
+  }
+  return grad;
+}
+
+Matrix MaxPoolAggregator::Forward(const Matrix& neighbors, size_t fan) {
+  ALIGRAPH_CHECK_GT(fan, 0u);
+  ALIGRAPH_CHECK_EQ(neighbors.rows() % fan, 0u);
+  fan_ = fan;
+  const size_t batch = neighbors.rows() / fan;
+  const size_t d = neighbors.cols();
+  Matrix out(batch, d);
+  argmax_.assign(batch * d, 0);
+  for (size_t b = 0; b < batch; ++b) {
+    auto dst = out.Row(b);
+    for (size_t j = 0; j < d; ++j) dst[j] = neighbors.At(b * fan, j);
+    for (size_t f = 1; f < fan; ++f) {
+      auto src = neighbors.Row(b * fan + f);
+      for (size_t j = 0; j < d; ++j) {
+        if (src[j] > dst[j]) {
+          dst[j] = src[j];
+          argmax_[b * d + j] = static_cast<uint32_t>(f);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPoolAggregator::Backward(const Matrix& grad_out) {
+  const size_t batch = grad_out.rows();
+  const size_t d = grad_out.cols();
+  Matrix grad(batch * fan_, d);
+  for (size_t b = 0; b < batch; ++b) {
+    auto src = grad_out.Row(b);
+    for (size_t j = 0; j < d; ++j) {
+      grad.At(b * fan_ + argmax_[b * d + j], j) = src[j];
+    }
+  }
+  return grad;
+}
+
+Matrix ConcatCombiner::Forward(const Matrix& self, const Matrix& aggregated) {
+  Matrix y = linear_.Forward(nn::ConcatCols(self, aggregated));
+  nn::ReluInPlace(y);
+  last_output_ = y;
+  return y;
+}
+
+std::pair<Matrix, Matrix> ConcatCombiner::Backward(const Matrix& grad_out) {
+  const Matrix relu_grad = nn::ReluBackward(last_output_, grad_out);
+  const Matrix dconcat = linear_.Backward(relu_grad);
+  Matrix dself(dconcat.rows(), in_dim_);
+  Matrix dagg(dconcat.rows(), in_dim_);
+  for (size_t i = 0; i < dconcat.rows(); ++i) {
+    auto src = dconcat.Row(i);
+    auto s = dself.Row(i);
+    auto a = dagg.Row(i);
+    for (size_t j = 0; j < in_dim_; ++j) {
+      s[j] = src[j];
+      a[j] = src[in_dim_ + j];
+    }
+  }
+  return {std::move(dself), std::move(dagg)};
+}
+
+Matrix AddCombiner::Forward(const Matrix& self, const Matrix& aggregated) {
+  Matrix sum = self;
+  sum += aggregated;
+  Matrix y = linear_.Forward(sum);
+  nn::ReluInPlace(y);
+  last_output_ = y;
+  return y;
+}
+
+std::pair<Matrix, Matrix> AddCombiner::Backward(const Matrix& grad_out) {
+  const Matrix relu_grad = nn::ReluBackward(last_output_, grad_out);
+  Matrix dsum = linear_.Backward(relu_grad);
+  return {dsum, dsum};
+}
+
+std::unique_ptr<Aggregator> MakeAggregator(const std::string& name) {
+  if (name == "mean") return std::make_unique<MeanAggregator>();
+  if (name == "sum") return std::make_unique<SumAggregator>();
+  if (name == "maxpool") return std::make_unique<MaxPoolAggregator>();
+  ALIGRAPH_LOG(Fatal) << "unknown aggregator: " << name;
+  return nullptr;
+}
+
+}  // namespace ops
+}  // namespace aligraph

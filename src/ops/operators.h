@@ -1,0 +1,134 @@
+/// \file operators.h
+/// \brief The operator layer (Section 3.4): AGGREGATE and COMBINE as
+/// plugins, each a forward + backward pair so models compose them into an
+/// end-to-end trainable network.
+///
+/// AGGREGATE maps the sampled neighbor embeddings of a batch — a
+/// [batch * fan, d] matrix with a fixed fan-out per root — to one vector per
+/// root ([batch, d]). COMBINE fuses a root's previous-hop embedding with the
+/// aggregate into the next-hop embedding.
+
+#ifndef ALIGRAPH_OPS_OPERATORS_H_
+#define ALIGRAPH_OPS_OPERATORS_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+#include "nn/matrix.h"
+
+namespace aligraph {
+namespace ops {
+
+/// \brief AGGREGATE plugin: [batch*fan, d] -> [batch, d].
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual std::string name() const = 0;
+
+  /// Forward; `fan` is the fixed neighbor count per root.
+  virtual nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) = 0;
+
+  /// Backward: gradient w.r.t. the neighbor matrix.
+  virtual nn::Matrix Backward(const nn::Matrix& grad_out) = 0;
+};
+
+/// \brief Element-wise mean over each root's neighbors (GraphSAGE-mean,
+/// GCN-style convolution).
+class MeanAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "mean"; }
+  nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) override;
+  nn::Matrix Backward(const nn::Matrix& grad_out) override;
+
+ private:
+  size_t fan_ = 1;
+};
+
+/// \brief Element-wise sum.
+class SumAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "sum"; }
+  nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) override;
+  nn::Matrix Backward(const nn::Matrix& grad_out) override;
+
+ private:
+  size_t fan_ = 1;
+};
+
+/// \brief Element-wise max with argmax routing in the backward pass
+/// (GraphSAGE max-pooling without the pre-MLP).
+class MaxPoolAggregator : public Aggregator {
+ public:
+  std::string name() const override { return "maxpool"; }
+  nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) override;
+  nn::Matrix Backward(const nn::Matrix& grad_out) override;
+
+ private:
+  size_t fan_ = 1;
+  std::vector<uint32_t> argmax_;  // (batch*d) winner slot per output element
+};
+
+/// \brief COMBINE plugin: (self [n, din], aggregated [n, din]) -> [n, dout].
+class Combiner {
+ public:
+  virtual ~Combiner() = default;
+  virtual std::string name() const = 0;
+
+  virtual nn::Matrix Forward(const nn::Matrix& self,
+                             const nn::Matrix& aggregated) = 0;
+
+  /// Backward: gradients w.r.t. (self, aggregated).
+  virtual std::pair<nn::Matrix, nn::Matrix> Backward(
+      const nn::Matrix& grad_out) = 0;
+
+  /// Applies the optimizer to any trainable parameters.
+  virtual void Apply(nn::Optimizer& opt) = 0;
+};
+
+/// \brief GraphSAGE-style combine: ReLU(W [self || agg] + b).
+class ConcatCombiner : public Combiner {
+ public:
+  ConcatCombiner(size_t in_dim, size_t out_dim, Rng& rng)
+      : linear_(2 * in_dim, out_dim, rng), in_dim_(in_dim) {}
+
+  std::string name() const override { return "concat"; }
+  nn::Matrix Forward(const nn::Matrix& self,
+                     const nn::Matrix& aggregated) override;
+  std::pair<nn::Matrix, nn::Matrix> Backward(
+      const nn::Matrix& grad_out) override;
+  void Apply(nn::Optimizer& opt) override { linear_.Apply(opt); }
+
+ private:
+  nn::Linear linear_;
+  size_t in_dim_;
+  nn::Matrix last_output_;
+};
+
+/// \brief GCN-style combine: ReLU(W (self + agg) + b).
+class AddCombiner : public Combiner {
+ public:
+  AddCombiner(size_t in_dim, size_t out_dim, Rng& rng)
+      : linear_(in_dim, out_dim, rng) {}
+
+  std::string name() const override { return "add"; }
+  nn::Matrix Forward(const nn::Matrix& self,
+                     const nn::Matrix& aggregated) override;
+  std::pair<nn::Matrix, nn::Matrix> Backward(
+      const nn::Matrix& grad_out) override;
+  void Apply(nn::Optimizer& opt) override { linear_.Apply(opt); }
+
+ private:
+  nn::Linear linear_;
+  nn::Matrix last_output_;
+};
+
+/// Factory over aggregator names "mean" / "sum" / "maxpool".
+std::unique_ptr<Aggregator> MakeAggregator(const std::string& name);
+
+}  // namespace ops
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_OPS_OPERATORS_H_

@@ -1,0 +1,270 @@
+/// \file metis.cc
+/// \brief Multilevel k-way partitioner in the METIS style: heavy-edge
+/// matching coarsening, greedy seeded region growing on the coarsest graph,
+/// and greedy boundary refinement on each uncoarsening level.
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "partition/partitioner.h"
+
+namespace aligraph {
+namespace {
+
+/// Lightweight weighted graph used internally across coarsening levels.
+struct Level {
+  std::vector<uint64_t> offsets;           // CSR offsets, size n+1
+  std::vector<uint32_t> adj;               // neighbor ids
+  std::vector<double> adj_w;               // edge weights
+  std::vector<double> vertex_w;            // coarse vertex weights
+  std::vector<uint32_t> coarse_of;         // fine -> coarse map (next level)
+  size_t n() const { return vertex_w.size(); }
+};
+
+Level FromGraph(const AttributedGraph& g) {
+  Level lv;
+  const VertexId n = g.num_vertices();
+  lv.vertex_w.assign(n, 1.0);
+  lv.offsets.assign(n + 1, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    lv.offsets[v + 1] = lv.offsets[v] + g.OutDegree(v) + g.InDegree(v);
+  }
+  lv.adj.resize(lv.offsets[n]);
+  lv.adj_w.resize(lv.offsets[n]);
+  std::vector<uint64_t> cur(lv.offsets.begin(), lv.offsets.end() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    for (const Neighbor& nb : g.OutNeighbors(v)) {
+      lv.adj[cur[v]] = nb.dst;
+      lv.adj_w[cur[v]++] = nb.weight;
+    }
+    for (const Neighbor& nb : g.InNeighbors(v)) {
+      lv.adj[cur[v]] = nb.dst;
+      lv.adj_w[cur[v]++] = nb.weight;
+    }
+  }
+  return lv;
+}
+
+/// Heavy-edge matching: each unmatched vertex pairs with its heaviest
+/// unmatched neighbor; pairs merge into one coarse vertex.
+Level Coarsen(Level& fine, Rng& rng) {
+  const size_t n = fine.n();
+  std::vector<uint32_t> match(n, UINT32_MAX);
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+
+  uint32_t coarse_n = 0;
+  fine.coarse_of.assign(n, UINT32_MAX);
+  for (uint32_t v : order) {
+    if (match[v] != UINT32_MAX) continue;
+    uint32_t best = UINT32_MAX;
+    double best_w = -1;
+    for (uint64_t e = fine.offsets[v]; e < fine.offsets[v + 1]; ++e) {
+      const uint32_t u = fine.adj[e];
+      if (u == v || match[u] != UINT32_MAX) continue;
+      if (fine.adj_w[e] > best_w) {
+        best_w = fine.adj_w[e];
+        best = u;
+      }
+    }
+    match[v] = (best == UINT32_MAX) ? v : best;
+    if (best != UINT32_MAX) match[best] = v;
+    fine.coarse_of[v] = coarse_n;
+    if (best != UINT32_MAX) fine.coarse_of[best] = coarse_n;
+    ++coarse_n;
+  }
+
+  Level coarse;
+  coarse.vertex_w.assign(coarse_n, 0.0);
+  for (size_t v = 0; v < n; ++v) {
+    coarse.vertex_w[fine.coarse_of[v]] += fine.vertex_w[v];
+  }
+
+  // Aggregate fine edges into coarse edges, merging parallels.
+  std::vector<std::vector<std::pair<uint32_t, double>>> buckets(coarse_n);
+  for (size_t v = 0; v < n; ++v) {
+    const uint32_t cv = fine.coarse_of[v];
+    for (uint64_t e = fine.offsets[v]; e < fine.offsets[v + 1]; ++e) {
+      const uint32_t cu = fine.coarse_of[fine.adj[e]];
+      if (cu == cv) continue;
+      buckets[cv].emplace_back(cu, fine.adj_w[e]);
+    }
+  }
+  coarse.offsets.assign(coarse_n + 1, 0);
+  for (uint32_t v = 0; v < coarse_n; ++v) {
+    auto& b = buckets[v];
+    std::sort(b.begin(), b.end());
+    size_t out = 0;
+    for (size_t i = 0; i < b.size();) {
+      size_t j = i;
+      double w = 0;
+      while (j < b.size() && b[j].first == b[i].first) w += b[j++].second;
+      b[out++] = {b[i].first, w};
+      i = j;
+    }
+    b.resize(out);
+    coarse.offsets[v + 1] = coarse.offsets[v] + out;
+  }
+  coarse.adj.resize(coarse.offsets[coarse_n]);
+  coarse.adj_w.resize(coarse.offsets[coarse_n]);
+  for (uint32_t v = 0; v < coarse_n; ++v) {
+    uint64_t e = coarse.offsets[v];
+    for (const auto& [u, w] : buckets[v]) {
+      coarse.adj[e] = u;
+      coarse.adj_w[e++] = w;
+    }
+  }
+  return coarse;
+}
+
+/// Greedy seeded region growing of the coarsest level into p balanced parts.
+std::vector<WorkerId> InitialPartition(const Level& lv, uint32_t p, Rng& rng) {
+  const size_t n = lv.n();
+  std::vector<WorkerId> part(n, UINT32_MAX);
+  double total_w = 0;
+  for (double w : lv.vertex_w) total_w += w;
+  const double target = total_w / p;
+
+  std::vector<uint32_t> frontier;
+  for (uint32_t w = 0; w < p; ++w) {
+    double grown = 0;
+    // Seed: a random unassigned vertex.
+    uint32_t seed = UINT32_MAX;
+    for (size_t tries = 0; tries < n; ++tries) {
+      const uint32_t cand = static_cast<uint32_t>(rng.Uniform(n));
+      if (part[cand] == UINT32_MAX) {
+        seed = cand;
+        break;
+      }
+    }
+    if (seed == UINT32_MAX) {
+      for (uint32_t v = 0; v < n; ++v) {
+        if (part[v] == UINT32_MAX) {
+          seed = v;
+          break;
+        }
+      }
+    }
+    if (seed == UINT32_MAX) break;
+    frontier.clear();
+    frontier.push_back(seed);
+    part[seed] = w;
+    grown += lv.vertex_w[seed];
+    // BFS growth until the target weight is reached.
+    for (size_t head = 0; head < frontier.size() && grown < target; ++head) {
+      const uint32_t v = frontier[head];
+      for (uint64_t e = lv.offsets[v]; e < lv.offsets[v + 1]; ++e) {
+        const uint32_t u = lv.adj[e];
+        if (part[u] != UINT32_MAX) continue;
+        part[u] = w;
+        grown += lv.vertex_w[u];
+        frontier.push_back(u);
+        if (grown >= target && w + 1 < p) break;
+      }
+    }
+  }
+  // Leftovers (disconnected pieces) go to the lightest part.
+  std::vector<double> loads(p, 0);
+  for (size_t v = 0; v < n; ++v) {
+    if (part[v] != UINT32_MAX) loads[part[v]] += lv.vertex_w[v];
+  }
+  for (uint32_t v = 0; v < n; ++v) {
+    if (part[v] == UINT32_MAX) {
+      const auto it = std::min_element(loads.begin(), loads.end());
+      const WorkerId w = static_cast<WorkerId>(it - loads.begin());
+      part[v] = w;
+      loads[w] += lv.vertex_w[v];
+    }
+  }
+  return part;
+}
+
+/// One pass of greedy boundary refinement: move a vertex to the neighboring
+/// part with the largest cut gain if balance allows.
+void Refine(const Level& lv, uint32_t p, double max_load,
+            std::vector<WorkerId>& part) {
+  std::vector<double> loads(p, 0);
+  for (size_t v = 0; v < lv.n(); ++v) loads[part[v]] += lv.vertex_w[v];
+
+  std::vector<double> gain(p, 0);
+  for (uint32_t v = 0; v < lv.n(); ++v) {
+    std::fill(gain.begin(), gain.end(), 0.0);
+    for (uint64_t e = lv.offsets[v]; e < lv.offsets[v + 1]; ++e) {
+      gain[part[lv.adj[e]]] += lv.adj_w[e];
+    }
+    const WorkerId cur = part[v];
+    WorkerId best = cur;
+    double best_gain = gain[cur];
+    for (uint32_t w = 0; w < p; ++w) {
+      if (w == cur) continue;
+      if (loads[w] + lv.vertex_w[v] > max_load) continue;
+      if (gain[w] > best_gain) {
+        best_gain = gain[w];
+        best = w;
+      }
+    }
+    if (best != cur) {
+      loads[cur] -= lv.vertex_w[v];
+      loads[best] += lv.vertex_w[v];
+      part[v] = best;
+    }
+  }
+}
+
+}  // namespace
+
+Result<PartitionPlan> MetisPartitioner::Partition(const AttributedGraph& graph,
+                                                  uint32_t num_workers) const {
+  if (num_workers == 0) return Status::InvalidArgument("num_workers == 0");
+  const VertexId n = graph.num_vertices();
+  PartitionPlan plan;
+  plan.num_workers = num_workers;
+  if (n == 0) return plan;
+  if (num_workers == 1) {
+    plan.vertex_owner.assign(n, 0);
+    return plan;
+  }
+
+  Rng rng(0x4d455449u);  // deterministic partitioning
+
+  std::vector<Level> levels;
+  levels.push_back(FromGraph(graph));
+  const size_t stop_at = std::max<size_t>(coarsen_to_ * num_workers, 2 * num_workers);
+  while (levels.back().n() > stop_at) {
+    Level next = Coarsen(levels.back(), rng);
+    if (next.n() >= levels.back().n() * 95 / 100) break;  // stalled matching
+    levels.push_back(std::move(next));
+  }
+
+  std::vector<WorkerId> part =
+      InitialPartition(levels.back(), num_workers, rng);
+
+  double total_w = 0;
+  for (double w : levels.back().vertex_w) total_w += w;
+  const double max_load = 1.1 * total_w / num_workers;
+
+  // Refine at the coarsest level, then project and refine at each level up.
+  for (size_t i = levels.size(); i-- > 0;) {
+    for (int pass = 0; pass < 2; ++pass) {
+      Refine(levels[i], num_workers, max_load, part);
+    }
+    if (i > 0) {
+      std::vector<WorkerId> fine_part(levels[i - 1].n());
+      for (size_t v = 0; v < levels[i - 1].n(); ++v) {
+        fine_part[v] = part[levels[i - 1].coarse_of[v]];
+      }
+      part.swap(fine_part);
+    }
+  }
+
+  plan.vertex_owner.assign(part.begin(), part.end());
+  return plan;
+}
+
+}  // namespace aligraph

@@ -1,0 +1,135 @@
+/// \file partitioner.h
+/// \brief Graph-partitioning plugin interface and the four built-in
+/// algorithms of the paper's storage layer (Section 3.2):
+///
+///   1. METIS-style multilevel partitioning (sparse graphs),
+///   2. hash edge-cut and greedy vertex-cut (dense graphs),
+///   3. 2-D grid partitioning (fixed worker count),
+///   4. streaming linear-deterministic-greedy (frequent edge updates).
+///
+/// Per Section 3.3 the distributed graph is partitioned by source vertex:
+/// a partitioner's primary output is the vertex -> worker ownership map.
+/// AssignEdge (the paper's ASSIGN in Algorithm 2) defaults to the owner of
+/// the source endpoint.
+
+#ifndef ALIGRAPH_PARTITION_PARTITIONER_H_
+#define ALIGRAPH_PARTITION_PARTITIONER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace aligraph {
+
+/// \brief Result of partitioning: the ownership map plus worker count.
+struct PartitionPlan {
+  uint32_t num_workers = 1;
+  std::vector<WorkerId> vertex_owner;  ///< size n; owner of each vertex
+
+  WorkerId OwnerOf(VertexId v) const { return vertex_owner[v]; }
+  /// Worker an edge's adjacency record lives on (source partitioning).
+  WorkerId AssignEdge(VertexId src, VertexId dst) const {
+    (void)dst;
+    return vertex_owner[src];
+  }
+};
+
+/// \brief Quality metrics of a plan over a given graph.
+struct PartitionStats {
+  double edge_cut_fraction = 0;  ///< crossing edges / total edges
+  double vertex_balance = 0;     ///< max vertices per worker / average
+  double edge_balance = 0;       ///< max out-edges per worker / average
+  std::string ToString() const;
+};
+
+/// Computes quality metrics of a plan.
+PartitionStats ComputePartitionStats(const AttributedGraph& graph,
+                                     const PartitionPlan& plan);
+
+/// \brief Plugin interface; implementations must be stateless across calls.
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+  virtual std::string name() const = 0;
+
+  /// Produces an ownership map over num_workers workers.
+  virtual Result<PartitionPlan> Partition(const AttributedGraph& graph,
+                                          uint32_t num_workers) const = 0;
+};
+
+/// \brief Random hash edge-cut: owner(v) = hash(v) mod p. The baseline the
+/// paper recommends for dense graphs ("vertex and edge cut" family).
+class EdgeCutPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "edge_cut"; }
+  Result<PartitionPlan> Partition(const AttributedGraph& graph,
+                                  uint32_t num_workers) const override;
+};
+
+/// \brief Greedy vertex-cut in the PowerGraph style: edges are placed on the
+/// least-loaded worker already holding an endpoint; each vertex is owned by
+/// the worker holding most of its out-edges.
+class VertexCutPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "vertex_cut"; }
+  Result<PartitionPlan> Partition(const AttributedGraph& graph,
+                                  uint32_t num_workers) const override;
+
+  /// Average number of workers each vertex's edges touch in the last run is
+  /// reported via this out-parameter variant.
+  Result<PartitionPlan> PartitionWithReplication(const AttributedGraph& graph,
+                                                 uint32_t num_workers,
+                                                 double* replication) const;
+};
+
+/// \brief 2-D partitioning: workers form an r x c grid; vertices are
+/// range-assigned to grid blocks. Used when the worker count is fixed.
+class Grid2DPartitioner : public Partitioner {
+ public:
+  std::string name() const override { return "grid2d"; }
+  Result<PartitionPlan> Partition(const AttributedGraph& graph,
+                                  uint32_t num_workers) const override;
+};
+
+/// \brief Streaming linear-deterministic-greedy (Stanton-Kliot): vertices
+/// arrive in id order and go to the worker with the most already-placed
+/// neighbors, damped by a capacity penalty.
+class StreamingPartitioner : public Partitioner {
+ public:
+  /// \param slack allowed overload factor over perfect balance (>= 1).
+  explicit StreamingPartitioner(double slack = 1.1) : slack_(slack) {}
+  std::string name() const override { return "streaming"; }
+  Result<PartitionPlan> Partition(const AttributedGraph& graph,
+                                  uint32_t num_workers) const override;
+
+ private:
+  double slack_;
+};
+
+/// \brief Multilevel partitioner in the METIS style: heavy-edge-matching
+/// coarsening, greedy region-growing of the coarsest graph, then uncoarsening
+/// with boundary refinement. Recommended for sparse graphs.
+class MetisPartitioner : public Partitioner {
+ public:
+  /// \param coarsen_to stop coarsening when at most this many vertices
+  ///        remain per worker.
+  explicit MetisPartitioner(size_t coarsen_to = 64) : coarsen_to_(coarsen_to) {}
+  std::string name() const override { return "metis"; }
+  Result<PartitionPlan> Partition(const AttributedGraph& graph,
+                                  uint32_t num_workers) const override;
+
+ private:
+  size_t coarsen_to_;
+};
+
+/// Factory over the built-in partitioner names: "edge_cut", "vertex_cut",
+/// "grid2d", "streaming", "metis". Users may register additional plugins by
+/// instantiating their own Partitioner subclasses directly.
+Result<std::unique_ptr<Partitioner>> MakePartitioner(const std::string& name);
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_PARTITION_PARTITIONER_H_

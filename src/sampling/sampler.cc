@@ -1,0 +1,159 @@
+#include "sampling/sampler.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace aligraph {
+
+std::vector<VertexId> TraverseSampler::Sample(size_t batch_size) {
+  std::vector<VertexId> batch;
+  if (pool_.empty()) return batch;
+  batch.reserve(batch_size);
+  for (size_t i = 0; i < batch_size; ++i) {
+    batch.push_back(pool_[rng_.Uniform(pool_.size())]);
+  }
+  return batch;
+}
+
+std::vector<std::pair<VertexId, Neighbor>> TraverseSampler::SampleEdges(
+    NeighborSource& source, EdgeType type, size_t batch_size) {
+  std::vector<std::pair<VertexId, Neighbor>> batch;
+  if (pool_.empty()) return batch;
+  batch.reserve(batch_size);
+  const size_t max_tries = batch_size * 16 + 64;
+  size_t tries = 0;
+  while (batch.size() < batch_size && tries < max_tries) {
+    ++tries;
+    const VertexId v = pool_[rng_.Uniform(pool_.size())];
+    const auto nbs = source.Neighbors(v, type);
+    if (nbs.empty()) continue;
+    batch.emplace_back(v, nbs[rng_.Uniform(nbs.size())]);
+  }
+  return batch;
+}
+
+VertexId NeighborhoodSampler::SampleOne(std::span<const Neighbor> nbs,
+                                        VertexId fallback, size_t rank) {
+  if (nbs.empty()) return fallback;
+  switch (strategy_) {
+    case NeighborStrategy::kUniform:
+      return nbs[rng_.Uniform(nbs.size())].dst;
+    case NeighborStrategy::kWeighted: {
+      double total = 0;
+      for (const Neighbor& nb : nbs) total += nb.weight;
+      double r = rng_.NextDouble() * total;
+      for (const Neighbor& nb : nbs) {
+        r -= nb.weight;
+        if (r <= 0) return nb.dst;
+      }
+      return nbs.back().dst;
+    }
+    case NeighborStrategy::kTopK: {
+      // Deterministic: the rank-th heaviest edge (rank wraps around).
+      size_t best = 0;
+      // For small fan-outs a selection scan per rank is cheap and avoids
+      // allocating a sorted copy per vertex per hop.
+      std::vector<std::pair<float, size_t>> order(nbs.size());
+      for (size_t i = 0; i < nbs.size(); ++i) order[i] = {-nbs[i].weight, i};
+      const size_t k = rank % nbs.size();
+      std::nth_element(order.begin(), order.begin() + k, order.end());
+      best = order[k].second;
+      return nbs[best].dst;
+    }
+  }
+  return fallback;
+}
+
+NeighborhoodSample NeighborhoodSampler::Sample(
+    NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
+    std::span<const uint32_t> hop_nums) {
+  NeighborhoodSample sample;
+  sample.roots.assign(roots.begin(), roots.end());
+  const bool all_types = type == kAllEdgeTypes;
+
+  std::span<const VertexId> frontier(sample.roots);
+  for (uint32_t fan : hop_nums) {
+    std::vector<VertexId> next;
+    next.reserve(frontier.size() * fan);
+    for (VertexId v : frontier) {
+      const auto nbs = all_types ? source.Neighbors(v)
+                                 : source.Neighbors(v, type);
+      for (uint32_t j = 0; j < fan; ++j) {
+        next.push_back(SampleOne(nbs, /*fallback=*/v, j));
+      }
+    }
+    sample.hops.push_back(std::move(next));
+    frontier = std::span<const VertexId>(sample.hops.back());
+  }
+  return sample;
+}
+
+NegativeSampler::NegativeSampler(const AttributedGraph& graph,
+                                 std::vector<VertexId> candidates,
+                                 double power, uint64_t seed)
+    : candidates_(std::move(candidates)), rng_(seed) {
+  std::vector<double> weights(candidates_.size());
+  for (size_t i = 0; i < candidates_.size(); ++i) {
+    const double deg = static_cast<double>(graph.InDegree(candidates_[i])) +
+                       static_cast<double>(graph.OutDegree(candidates_[i]));
+    weights[i] = std::pow(deg + 1.0, power);
+  }
+  table_.Build(weights);
+}
+
+std::vector<VertexId> NegativeSampler::Sample(size_t count,
+                                              VertexId positive) {
+  std::vector<VertexId> out;
+  if (candidates_.empty() || table_.empty()) return out;
+  out.reserve(count);
+  size_t guard = 0;
+  while (out.size() < count && guard < count * 16 + 64) {
+    ++guard;
+    const VertexId v = candidates_[table_.Sample(rng_)];
+    if (v == positive) continue;
+    out.push_back(v);
+  }
+  return out;
+}
+
+DynamicWeightedSampler::DynamicWeightedSampler(
+    std::vector<VertexId> vertices, std::vector<double> initial_weights,
+    size_t rebuild_every, uint64_t seed)
+    : vertices_(std::move(vertices)),
+      weights_(std::move(initial_weights)),
+      rebuild_every_(rebuild_every == 0 ? 1 : rebuild_every),
+      rng_(seed) {
+  ALIGRAPH_CHECK_EQ(vertices_.size(), weights_.size());
+  index_of_.reserve(vertices_.size());
+  for (size_t i = 0; i < vertices_.size(); ++i) index_of_[vertices_[i]] = i;
+  MaybeRebuild(/*force=*/true);
+}
+
+VertexId DynamicWeightedSampler::Sample() {
+  ALIGRAPH_CHECK(!vertices_.empty());
+  if (table_.empty()) return vertices_[rng_.Uniform(vertices_.size())];
+  return vertices_[table_.Sample(rng_)];
+}
+
+void DynamicWeightedSampler::Update(VertexId v, double delta) {
+  auto it = index_of_.find(v);
+  if (it == index_of_.end()) return;
+  weights_[it->second] = std::max(0.0, weights_[it->second] + delta);
+  ++pending_updates_;
+  MaybeRebuild(/*force=*/false);
+}
+
+double DynamicWeightedSampler::WeightOf(VertexId v) const {
+  auto it = index_of_.find(v);
+  return it == index_of_.end() ? 0.0 : weights_[it->second];
+}
+
+void DynamicWeightedSampler::MaybeRebuild(bool force) {
+  if (!force && pending_updates_ < rebuild_every_) return;
+  table_.Build(weights_);
+  pending_updates_ = 0;
+}
+
+}  // namespace aligraph

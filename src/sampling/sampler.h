@@ -1,0 +1,188 @@
+/// \file sampler.h
+/// \brief The sampling layer (Section 3.3): TRAVERSE, NEIGHBORHOOD and
+/// NEGATIVE samplers as plugins, plus dynamic-weight sampling whose weights
+/// are updated in a backward pass like any other operator.
+///
+/// Samplers read adjacency through a NeighborSource so the same code runs
+/// against a local AttributedGraph or against the simulated distributed
+/// Cluster (where reads are cache-aware and communication-counted).
+
+#ifndef ALIGRAPH_SAMPLING_SAMPLER_H_
+#define ALIGRAPH_SAMPLING_SAMPLER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "common/alias_table.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace aligraph {
+
+/// \brief Adjacency access abstraction shared by all samplers.
+class NeighborSource {
+ public:
+  virtual ~NeighborSource() = default;
+  /// All out-neighbors of v.
+  virtual std::span<const Neighbor> Neighbors(VertexId v) = 0;
+  /// Out-neighbors of v restricted to one edge type.
+  virtual std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) = 0;
+};
+
+/// \brief Reads a local AttributedGraph directly.
+class LocalNeighborSource : public NeighborSource {
+ public:
+  explicit LocalNeighborSource(const AttributedGraph& graph) : graph_(graph) {}
+  std::span<const Neighbor> Neighbors(VertexId v) override {
+    return graph_.OutNeighbors(v);
+  }
+  std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) override {
+    return graph_.OutNeighbors(v, type);
+  }
+
+ private:
+  const AttributedGraph& graph_;
+};
+
+/// \brief Reads through the cluster from the perspective of one worker,
+/// recording local/cache/remote access counts.
+class DistributedNeighborSource : public NeighborSource {
+ public:
+  DistributedNeighborSource(Cluster& cluster, WorkerId worker,
+                            CommStats* stats)
+      : cluster_(cluster), worker_(worker), stats_(stats) {}
+  std::span<const Neighbor> Neighbors(VertexId v) override {
+    return cluster_.GetNeighbors(worker_, v, stats_);
+  }
+  std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) override {
+    return cluster_.GetNeighbors(worker_, v, type, stats_);
+  }
+
+ private:
+  Cluster& cluster_;
+  WorkerId worker_;
+  CommStats* stats_;
+};
+
+/// \brief TRAVERSE: samples a batch of seed vertices (or edges) from the
+/// (partitioned sub)graph, optionally restricted to sources that carry
+/// edges of a given type.
+class TraverseSampler {
+ public:
+  /// \param vertices candidate seed pool (e.g. a worker's owned vertices or
+  ///        all vertices of one vertex type).
+  TraverseSampler(std::vector<VertexId> vertices, uint64_t seed = 1)
+      : pool_(std::move(vertices)), rng_(seed) {}
+
+  /// Uniformly samples batch_size seeds with replacement.
+  std::vector<VertexId> Sample(size_t batch_size);
+
+  /// Samples batch_size edges of the given type: pairs (src, neighbor).
+  /// Seeds without such edges are re-drawn a bounded number of times.
+  std::vector<std::pair<VertexId, Neighbor>> SampleEdges(
+      NeighborSource& source, EdgeType type, size_t batch_size);
+
+ private:
+  std::vector<VertexId> pool_;
+  Rng rng_;
+};
+
+/// \brief Per-hop sampling strategy of the NEIGHBORHOOD sampler.
+enum class NeighborStrategy {
+  kUniform,   ///< uniform with replacement (GraphSAGE default)
+  kWeighted,  ///< proportional to edge weight
+  kTopK,      ///< the k heaviest edges, deterministic
+};
+
+/// \brief NEIGHBORHOOD: generates the multi-hop context of a batch of
+/// vertices with aligned fan-outs (hop_nums), the paper's
+/// s2.sample(edge_type, vertex, hop_nums).
+///
+/// The result for hop k is a flat vector of size
+/// batch * hop_nums[0] * ... * hop_nums[k]; vertices with no suitable
+/// neighbor repeat themselves so shapes stay aligned.
+struct NeighborhoodSample {
+  std::vector<VertexId> roots;
+  std::vector<std::vector<VertexId>> hops;  ///< hops[k]: flattened hop-k ids
+};
+
+class NeighborhoodSampler {
+ public:
+  NeighborhoodSampler(NeighborStrategy strategy = NeighborStrategy::kUniform,
+                      uint64_t seed = 2)
+      : strategy_(strategy), rng_(seed) {}
+
+  /// Samples the context of `roots` along edges of `type` (pass
+  /// kAllEdgeTypes for type-agnostic neighborhoods).
+  NeighborhoodSample Sample(NeighborSource& source,
+                            std::span<const VertexId> roots, EdgeType type,
+                            std::span<const uint32_t> hop_nums);
+
+  static constexpr EdgeType kAllEdgeTypes =
+      std::numeric_limits<EdgeType>::max();
+
+ private:
+  VertexId SampleOne(std::span<const Neighbor> nbs, VertexId fallback,
+                     size_t rank);
+
+  NeighborStrategy strategy_;
+  Rng rng_;
+};
+
+/// \brief NEGATIVE: samples noise vertices from a static unigram^power
+/// distribution, optionally restricted to one vertex type, excluding the
+/// positive vertex.
+class NegativeSampler {
+ public:
+  /// Builds the noise distribution from in-degrees^power over `candidates`.
+  NegativeSampler(const AttributedGraph& graph,
+                  std::vector<VertexId> candidates, double power = 0.75,
+                  uint64_t seed = 3);
+
+  /// Draws `count` negatives, none equal to `positive`.
+  std::vector<VertexId> Sample(size_t count, VertexId positive);
+
+ private:
+  std::vector<VertexId> candidates_;
+  AliasTable table_;
+  Rng rng_;
+};
+
+/// \brief Dynamic-weight vertex sampler: weights are adjusted by a
+/// registered "gradient" in a backward call, mirroring how the paper folds
+/// sampler updates into backpropagation. The alias table is rebuilt lazily
+/// after a configurable number of updates.
+class DynamicWeightedSampler {
+ public:
+  DynamicWeightedSampler(std::vector<VertexId> vertices,
+                         std::vector<double> initial_weights,
+                         size_t rebuild_every = 1024, uint64_t seed = 4);
+
+  /// Forward: draw one vertex proportionally to the current weights.
+  VertexId Sample();
+
+  /// Backward: apply a weight delta to a vertex (clamped at >= 0).
+  void Update(VertexId v, double delta);
+
+  double WeightOf(VertexId v) const;
+  size_t updates_since_rebuild() const { return pending_updates_; }
+
+ private:
+  void MaybeRebuild(bool force);
+
+  std::vector<VertexId> vertices_;
+  std::unordered_map<VertexId, size_t> index_of_;
+  std::vector<double> weights_;
+  AliasTable table_;
+  size_t rebuild_every_;
+  size_t pending_updates_ = 0;
+  Rng rng_;
+};
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_SAMPLING_SAMPLER_H_

@@ -1,0 +1,71 @@
+#include "storage/importance.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+#include "graph/khop.h"
+
+namespace aligraph {
+
+ImportanceSelection SelectImportantVertices(const AttributedGraph& graph,
+                                            int depth,
+                                            const std::vector<double>& taus) {
+  ALIGRAPH_CHECK_GE(depth, 1);
+  ALIGRAPH_CHECK_GE(taus.size(), static_cast<size_t>(depth));
+  const VertexId n = graph.num_vertices();
+  std::vector<uint8_t> selected(n, 0);
+  for (int k = 1; k <= depth; ++k) {
+    const std::vector<double> imp = ImportanceScores(graph, k);
+    for (VertexId v = 0; v < n; ++v) {
+      if (imp[v] >= taus[k - 1]) selected[v] = 1;
+    }
+  }
+  ImportanceSelection sel;
+  for (VertexId v = 0; v < n; ++v) {
+    if (selected[v]) sel.vertices.push_back(v);
+  }
+  sel.cache_rate =
+      n == 0 ? 0.0
+             : static_cast<double>(sel.vertices.size()) / static_cast<double>(n);
+  return sel;
+}
+
+double CacheRateAtThreshold(const AttributedGraph& graph, int k, double tau) {
+  const std::vector<double> imp = ImportanceScores(graph, k);
+  if (imp.empty()) return 0;
+  size_t count = 0;
+  for (double i : imp) {
+    if (i >= tau) ++count;
+  }
+  return static_cast<double>(count) / static_cast<double>(imp.size());
+}
+
+std::vector<VertexId> SelectRandomVertices(const AttributedGraph& graph,
+                                           double fraction, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<VertexId> out;
+  const VertexId n = graph.num_vertices();
+  out.reserve(static_cast<size_t>(fraction * n) + 1);
+  for (VertexId v = 0; v < n; ++v) {
+    if (rng.Bernoulli(fraction)) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<VertexId> SelectTopImportance(const AttributedGraph& graph, int k,
+                                          double fraction) {
+  const std::vector<double> imp = ImportanceScores(graph, k);
+  const VertexId n = graph.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  const size_t take = std::min<size_t>(
+      n, static_cast<size_t>(fraction * static_cast<double>(n) + 0.5));
+  std::partial_sort(order.begin(), order.begin() + take, order.end(),
+                    [&imp](VertexId a, VertexId b) { return imp[a] > imp[b]; });
+  order.resize(take);
+  return order;
+}
+
+}  // namespace aligraph

@@ -1,0 +1,48 @@
+/// \file importance.h
+/// \brief Importance-based cache selection (Algorithm 2, lines 5-9):
+/// cache the 1..k-hop out-neighbors of every vertex v whose importance
+/// Imp_k(v) = D_i^k(v) / D_o^k(v) reaches the threshold tau_k.
+///
+/// Theorem 2 of the paper shows Imp_k is power-law distributed on power-law
+/// graphs, so only a small vertex fraction passes any reasonable threshold;
+/// the Fig. 8 benchmark sweeps tau to reproduce that curve.
+
+#ifndef ALIGRAPH_STORAGE_IMPORTANCE_H_
+#define ALIGRAPH_STORAGE_IMPORTANCE_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace aligraph {
+
+/// \brief Outcome of importance selection at one depth.
+struct ImportanceSelection {
+  std::vector<VertexId> vertices;  ///< vertices whose neighbors to cache
+  double cache_rate = 0;           ///< |vertices| / n
+};
+
+/// Selects the vertices with Imp_k(v) >= tau_k for each k in [1, depth].
+/// A vertex is selected if it passes the threshold at any considered depth,
+/// mirroring Algorithm 2's per-k caching. depth is typically 2.
+ImportanceSelection SelectImportantVertices(const AttributedGraph& graph,
+                                            int depth,
+                                            const std::vector<double>& taus);
+
+/// Fraction of vertices passing threshold tau at exactly depth k; backs the
+/// Fig. 8 threshold sweep.
+double CacheRateAtThreshold(const AttributedGraph& graph, int k, double tau);
+
+/// Selects a uniformly random fraction of vertices (the Fig. 9 "random
+/// cache" comparator).
+std::vector<VertexId> SelectRandomVertices(const AttributedGraph& graph,
+                                           double fraction, uint64_t seed);
+
+/// Selects the top-`fraction` vertices by importance at depth k; used to
+/// pin an importance cache of a given size for the Fig. 9 comparison.
+std::vector<VertexId> SelectTopImportance(const AttributedGraph& graph, int k,
+                                          double fraction);
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_STORAGE_IMPORTANCE_H_

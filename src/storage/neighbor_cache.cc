@@ -1,0 +1,48 @@
+#include "storage/neighbor_cache.h"
+
+namespace aligraph {
+
+StaticNeighborCache::StaticNeighborCache(std::string name,
+                                         const AttributedGraph& graph,
+                                         const std::vector<VertexId>& vertices)
+    : name_(std::move(name)) {
+  pinned_.reserve(vertices.size());
+  for (VertexId v : vertices) {
+    const auto nbs = graph.OutNeighbors(v);
+    pinned_.emplace(v, std::vector<Neighbor>(nbs.begin(), nbs.end()));
+    entries_ += nbs.size();
+  }
+}
+
+std::optional<std::span<const Neighbor>> StaticNeighborCache::Lookup(
+    VertexId v) {
+  auto it = pinned_.find(v);
+  if (it == pinned_.end()) return std::nullopt;
+  return std::span<const Neighbor>(it->second);
+}
+
+std::optional<std::span<const Neighbor>> LruNeighborCache::Lookup(VertexId v) {
+  auto hit = cache_.Get(v);
+  if (!hit.has_value()) return std::nullopt;
+  // Pin the looked-up list so the returned span outlives a later eviction.
+  last_ = *hit;
+  return std::span<const Neighbor>(*last_);
+}
+
+void LruNeighborCache::OnRemoteFetch(VertexId v,
+                                     std::span<const Neighbor> neighbors) {
+  if (cache_.Contains(v)) return;
+  auto entry = std::make_shared<std::vector<Neighbor>>(neighbors.begin(),
+                                                       neighbors.end());
+  entries_ += entry->size();
+  if (!callback_installed_) {
+    callback_installed_ = true;
+    cache_.SetEvictionCallback(
+        [this](const VertexId&, std::shared_ptr<std::vector<Neighbor>>& val) {
+          entries_ -= val->size();
+        });
+  }
+  cache_.Put(v, std::move(entry));
+}
+
+}  // namespace aligraph

@@ -1,0 +1,280 @@
+// Unit and property tests for the common utilities: RNG, alias table, LRU
+// cache, thread pool, summaries and the power-law fitter.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/alias_table.h"
+#include "common/histogram.h"
+#include "common/lru_cache.h"
+#include "common/random.h"
+#include "common/threadpool.h"
+#include "common/timer.h"
+
+namespace aligraph {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (uint64_t bound : {1ULL, 2ULL, 17ULL, 1000ULL}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.Uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.02);
+}
+
+TEST(RngTest, GaussianMomentsRoughlyStandard) {
+  Rng rng(17);
+  double sum = 0, sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.NextGaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sq / n, 1.0, 0.05);
+}
+
+TEST(RngTest, WeightedIndexBiased) {
+  Rng rng(19);
+  std::vector<double> w{1.0, 9.0};
+  int ones = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.WeightedIndex(w) == 1) ++ones;
+  }
+  EXPECT_NEAR(ones / 5000.0, 0.9, 0.03);
+}
+
+TEST(AliasTableTest, EmptyWeightsYieldEmptyTable) {
+  AliasTable t{std::vector<double>{}};
+  EXPECT_TRUE(t.empty());
+  AliasTable zeros{std::vector<double>{0, 0, 0}};
+  EXPECT_TRUE(zeros.empty());
+}
+
+TEST(AliasTableTest, SingleEntryAlwaysSampled) {
+  AliasTable t{std::vector<double>{5.0}};
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(t.Sample(rng), 0u);
+}
+
+TEST(AliasTableTest, MatchesDistribution) {
+  std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  Rng rng(23);
+  std::vector<int> counts(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[t.Sample(rng)];
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(counts[i] / static_cast<double>(n), w[i] / 10.0, 0.01)
+        << "bucket " << i;
+  }
+}
+
+TEST(AliasTableTest, UnnormalizedEqualWeightsUniform) {
+  AliasTable t(std::vector<double>(8, 123.0));
+  Rng rng(29);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 80000; ++i) ++counts[t.Sample(rng)];
+  for (int c : counts) EXPECT_NEAR(c / 80000.0, 0.125, 0.01);
+}
+
+TEST(AliasTableTest, RebuildReplacesDistribution) {
+  AliasTable t(std::vector<double>{1.0, 0.0});
+  Rng rng(31);
+  EXPECT_EQ(t.Sample(rng), 0u);
+  t.Build({0.0, 1.0});
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(t.Sample(rng), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  ASSERT_TRUE(cache.Get(1).has_value());  // 1 is now most recent
+  cache.Put(3, 30);                       // evicts 2
+  EXPECT_FALSE(cache.Get(2).has_value());
+  EXPECT_TRUE(cache.Get(1).has_value());
+  EXPECT_TRUE(cache.Get(3).has_value());
+}
+
+TEST(LruCacheTest, OverwriteDoesNotEvict) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  cache.Put(1, 11);
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(*cache.Get(1), 11);
+  EXPECT_TRUE(cache.Get(2).has_value());
+}
+
+TEST(LruCacheTest, TracksHitsMissesEvictions) {
+  LruCache<int, int> cache(1);
+  cache.Get(5);  // miss
+  cache.Put(5, 1);
+  cache.Get(5);  // hit
+  cache.Put(6, 2);  // evicts 5
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NEAR(cache.HitRate(), 0.5, 1e-9);
+}
+
+TEST(LruCacheTest, EvictionCallbackFires) {
+  LruCache<int, int> cache(1);
+  int evicted_key = -1;
+  cache.SetEvictionCallback([&](const int& k, int&) { evicted_key = k; });
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_EQ(evicted_key, 1);
+}
+
+TEST(LruCacheTest, ContainsDoesNotTouchRecency) {
+  LruCache<int, int> cache(2);
+  cache.Put(1, 10);
+  cache.Put(2, 20);
+  EXPECT_TRUE(cache.Contains(1));
+  // 1 was NOT refreshed by Contains, so it is still the LRU victim.
+  cache.Put(3, 30);
+  EXPECT_FALSE(cache.Get(1).has_value());
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndex) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(hits.size(), [&hits](size_t i) { ++hits[i]; });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaits) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  pool.Submit([&count] { ++count; });
+  pool.Wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
+  ThreadPool pool(2);
+  pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(SummaryTest, BasicStatistics) {
+  Summary s;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) s.Add(v);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 4.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 2.5);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 4.0);
+}
+
+TEST(SummaryTest, EmptyIsZero) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.Percentile(99), 0.0);
+}
+
+TEST(PowerLawFitTest, RecoversSlopeOnSyntheticPowerLaw) {
+  // Sample from Pr(X >= x) ~ x^{-(gamma-1)} via inverse transform.
+  Rng rng(37);
+  const double gamma = 2.5;
+  std::vector<double> sample;
+  for (int i = 0; i < 200000; ++i) {
+    const double u = rng.NextDouble();
+    sample.push_back(std::pow(1.0 - u, -1.0 / (gamma - 1.0)));
+  }
+  const PowerLawFit fit = FitPowerLawSlope(sample);
+  EXPECT_GT(fit.points, 5u);
+  EXPECT_NEAR(fit.slope, -gamma, 0.35);
+  EXPECT_GT(fit.r_squared, 0.95);
+}
+
+TEST(PowerLawFitTest, UniformSampleIsNotPowerLaw) {
+  Rng rng(41);
+  std::vector<double> sample;
+  for (int i = 0; i < 50000; ++i) sample.push_back(1.0 + rng.NextDouble() * 99);
+  const PowerLawFit fit = FitPowerLawSlope(sample);
+  // Uniform density is flat in value, so the log-log slope is near 0
+  // (clearly not a steep power law).
+  EXPECT_GT(fit.slope, -1.0);
+}
+
+TEST(PowerLawFitTest, DegenerateInputs) {
+  EXPECT_EQ(FitPowerLawSlope({}).points, 0u);
+  EXPECT_EQ(FitPowerLawSlope({0.5, 0.2}).points, 0u);  // all below 1
+}
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  EXPECT_GT(t.ElapsedNanos(), 0);
+  const double before = t.ElapsedMillis();
+  t.Reset();
+  EXPECT_LE(t.ElapsedMillis(), before + 1e3);
+}
+
+}  // namespace
+}  // namespace aligraph

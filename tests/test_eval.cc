@@ -1,0 +1,209 @@
+// Tests for the evaluation module: metrics with hand-computed values and
+// the link-prediction split harness.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "eval/link_prediction.h"
+#include "eval/metrics.h"
+#include "gen/taobao.h"
+#include "nn/matrix.h"
+
+namespace aligraph {
+namespace eval {
+namespace {
+
+TEST(RocAucTest, PerfectSeparation) {
+  std::vector<double> pos{0.9, 0.8};
+  std::vector<double> neg{0.1, 0.2};
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 1.0);
+}
+
+TEST(RocAucTest, PerfectlyWrong) {
+  std::vector<double> pos{0.1};
+  std::vector<double> neg{0.9};
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 0.0);
+}
+
+TEST(RocAucTest, AllTiesGiveHalf) {
+  std::vector<double> pos{0.5, 0.5};
+  std::vector<double> neg{0.5, 0.5, 0.5};
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 0.5);
+}
+
+TEST(RocAucTest, HandComputedMixedCase) {
+  // pos = {3, 1}, neg = {2}. Pairs: (3 > 2) = 1, (1 < 2) = 0 -> AUC 0.5.
+  std::vector<double> pos{3, 1};
+  std::vector<double> neg{2};
+  EXPECT_DOUBLE_EQ(RocAuc(pos, neg), 0.5);
+}
+
+TEST(RocAucTest, EmptyInputsGiveHalf) {
+  EXPECT_DOUBLE_EQ(RocAuc({}, {}), 0.5);
+}
+
+TEST(PrAucTest, PerfectRankingIsOne) {
+  std::vector<double> pos{0.9, 0.8};
+  std::vector<double> neg{0.2};
+  EXPECT_DOUBLE_EQ(PrAuc(pos, neg), 1.0);
+}
+
+TEST(PrAucTest, HandComputed) {
+  // Order: pos(0.9), neg(0.8), pos(0.7).
+  // AP = (1/1 + 2/3) / 2 = 5/6.
+  std::vector<double> pos{0.9, 0.7};
+  std::vector<double> neg{0.8};
+  EXPECT_NEAR(PrAuc(pos, neg), 5.0 / 6.0, 1e-9);
+}
+
+TEST(BestF1Test, PerfectIsOne) {
+  std::vector<double> pos{0.9};
+  std::vector<double> neg{0.1};
+  EXPECT_DOUBLE_EQ(BestF1(pos, neg), 1.0);
+}
+
+TEST(BestF1Test, HandComputed) {
+  // pos = {0.9, 0.2}, neg = {0.5}. Thresholds:
+  //  top1: P=1, R=0.5 -> F1 = 2/3
+  //  top2: P=0.5, R=0.5 -> 0.5
+  //  top3: P=2/3, R=1 -> 0.8  <- best
+  std::vector<double> pos{0.9, 0.2};
+  std::vector<double> neg{0.5};
+  EXPECT_NEAR(BestF1(pos, neg), 0.8, 1e-9);
+}
+
+TEST(HitRateTest, CountsRanksBelowK) {
+  std::vector<size_t> ranks{0, 4, 9, 10, 50};
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 10), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 100), 1.0);
+  EXPECT_DOUBLE_EQ(HitRateAtK(ranks, 1), 1.0 / 5.0);
+}
+
+TEST(MultiClassF1Test, PerfectPredictions) {
+  std::vector<uint32_t> labels{0, 1, 2, 1};
+  const MultiClassF1 f1 = ComputeMultiClassF1(labels, labels, 3);
+  EXPECT_DOUBLE_EQ(f1.micro, 1.0);
+  EXPECT_DOUBLE_EQ(f1.macro, 1.0);
+}
+
+TEST(MultiClassF1Test, HandComputed) {
+  // labels: 0,0,1,1 preds: 0,1,1,1
+  // class0: tp=1 fp=0 fn=1 -> F1 = 2/3
+  // class1: tp=2 fp=1 fn=0 -> F1 = 4/5
+  // micro: tp=3 fp=1 fn=1 -> 6/8 = 0.75 ; macro = (2/3 + 4/5)/2
+  std::vector<uint32_t> labels{0, 0, 1, 1};
+  std::vector<uint32_t> preds{0, 1, 1, 1};
+  const MultiClassF1 f1 = ComputeMultiClassF1(labels, preds, 2);
+  EXPECT_NEAR(f1.micro, 0.75, 1e-9);
+  EXPECT_NEAR(f1.macro, (2.0 / 3.0 + 0.8) / 2, 1e-9);
+}
+
+TEST(MultiClassF1Test, AbsentClassesSkippedInMacro) {
+  std::vector<uint32_t> labels{0, 0};
+  std::vector<uint32_t> preds{0, 0};
+  const MultiClassF1 f1 = ComputeMultiClassF1(labels, preds, 5);
+  EXPECT_DOUBLE_EQ(f1.macro, 1.0);
+}
+
+TEST(BinaryMetricsTest, AllThreeComputed) {
+  std::vector<double> pos{0.9, 0.7};
+  std::vector<double> neg{0.3, 0.1};
+  const BinaryMetrics m = ComputeBinaryMetrics(pos, neg);
+  EXPECT_DOUBLE_EQ(m.roc_auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.pr_auc, 1.0);
+  EXPECT_DOUBLE_EQ(m.f1, 1.0);
+}
+
+class SplitTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    graph_ = std::move(gen::Taobao(gen::TaobaoSmallConfig(0.05))).value();
+    auto split = SplitLinkPrediction(graph_, 0.2, 99);
+    ASSERT_TRUE(split.ok());
+    split_ = std::move(split).value();
+  }
+
+  AttributedGraph graph_;
+  LinkPredictionSplit split_;
+};
+
+TEST_F(SplitTest, EdgeCountsConserved) {
+  EXPECT_EQ(split_.train.num_edges() + split_.test_positive.size(),
+            graph_.num_edges());
+  EXPECT_NEAR(static_cast<double>(split_.test_positive.size()) /
+                  graph_.num_edges(),
+              0.2, 0.05);
+}
+
+TEST_F(SplitTest, NegativesAreNotEdges) {
+  for (const RawEdge& e : split_.test_negative) {
+    for (const Neighbor& nb : graph_.OutNeighbors(e.src, e.type)) {
+      EXPECT_NE(nb.dst, e.dst);
+    }
+  }
+}
+
+TEST_F(SplitTest, NegativesMatchDestinationType) {
+  for (size_t i = 0; i < split_.test_negative.size(); ++i) {
+    const RawEdge& neg = split_.test_negative[i];
+    const RawEdge& pos = split_.test_positive[i];
+    EXPECT_EQ(graph_.vertex_type(neg.dst), graph_.vertex_type(pos.dst));
+    EXPECT_EQ(neg.src, pos.src);
+    EXPECT_EQ(neg.type, pos.type);
+  }
+}
+
+TEST_F(SplitTest, TrainGraphKeepsVertices) {
+  EXPECT_EQ(split_.train.num_vertices(), graph_.num_vertices());
+}
+
+TEST_F(SplitTest, RejectsBadFraction) {
+  EXPECT_FALSE(SplitLinkPrediction(graph_, 0.0, 1).ok());
+  EXPECT_FALSE(SplitLinkPrediction(graph_, 1.0, 1).ok());
+}
+
+TEST(ScorePairTest, DotAndCosine) {
+  nn::Matrix emb(2, 2);
+  emb.At(0, 0) = 3;
+  emb.At(1, 0) = 4;
+  EXPECT_DOUBLE_EQ(ScorePair(emb, 0, 1, PairScorer::kDot), 12.0);
+  EXPECT_NEAR(ScorePair(emb, 0, 1, PairScorer::kCosine), 1.0, 1e-6);
+}
+
+TEST(EvaluateLinkPredictionTest, OracleEmbeddingsScoreHigh) {
+  // Build a tiny graph and an embedding where connected pairs share a
+  // direction.
+  GraphBuilder gb;
+  for (int i = 0; i < 4; ++i) gb.AddVertex();
+  ASSERT_TRUE(gb.AddEdge(0, 1).ok());
+  ASSERT_TRUE(gb.AddEdge(2, 3).ok());
+  auto g = std::move(gb.Build()).value();
+
+  LinkPredictionSplit split;
+  split.test_positive = {RawEdge{0, 1, 0, 1.0f, kNoAttr}};
+  split.test_negative = {RawEdge{0, 3, 0, 1.0f, kNoAttr}};
+  nn::Matrix emb(4, 2);
+  emb.At(0, 0) = 1;
+  emb.At(1, 0) = 1;   // same direction as 0
+  emb.At(3, 1) = 1;   // orthogonal to 0
+  const BinaryMetrics m = EvaluateLinkPrediction(emb, split);
+  EXPECT_DOUBLE_EQ(m.roc_auc, 1.0);
+}
+
+TEST(RecommendationRanksTest, PerfectEmbeddingRanksPositiveFirst) {
+  nn::Matrix emb(3, 2);
+  emb.At(0, 0) = 1;           // user
+  emb.At(1, 0) = 1;           // positive item, aligned
+  emb.At(2, 0) = -1;          // distractor item
+  LinkPredictionSplit split;
+  split.test_positive = {RawEdge{0, 1, 0, 1.0f, kNoAttr}};
+  std::vector<VertexId> pool{1, 2};
+  const auto ranks = RecommendationRanks(emb, split, pool, 50, 5);
+  ASSERT_EQ(ranks.size(), 1u);
+  EXPECT_EQ(ranks[0], 0u);
+}
+
+}  // namespace
+}  // namespace eval
+}  // namespace aligraph

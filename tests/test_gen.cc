@@ -1,0 +1,198 @@
+// Tests for the synthetic data generators that stand in for the paper's
+// Taobao / Amazon datasets and the dynamic graphs.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/histogram.h"
+#include "gen/dynamic_gen.h"
+#include "gen/powerlaw.h"
+#include "gen/taobao.h"
+
+namespace aligraph {
+namespace gen {
+namespace {
+
+TEST(ChungLuTest, ProducesRequestedScale) {
+  ChungLuConfig cfg;
+  cfg.num_vertices = 5000;
+  cfg.avg_degree = 10;
+  auto g = ChungLu(cfg);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->num_vertices(), 5000u);
+  EXPECT_NEAR(static_cast<double>(g->num_edges()) / 5000.0, 10.0, 1.0);
+}
+
+TEST(ChungLuTest, DegreesAreHeavyTailed) {
+  ChungLuConfig cfg;
+  cfg.num_vertices = 20000;
+  cfg.avg_degree = 8;
+  cfg.gamma = 2.3;
+  auto g = std::move(ChungLu(cfg)).value();
+  size_t max_deg = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_deg = std::max(max_deg, g.OutDegree(v));
+  }
+  // Heavy tail: hubs far above the mean.
+  EXPECT_GT(max_deg, 80u);
+}
+
+TEST(ChungLuTest, RejectsBadConfig) {
+  ChungLuConfig cfg;
+  cfg.num_vertices = 0;
+  EXPECT_FALSE(ChungLu(cfg).ok());
+  cfg.num_vertices = 10;
+  cfg.gamma = 1.5;
+  EXPECT_FALSE(ChungLu(cfg).ok());
+}
+
+TEST(ChungLuTest, DeterministicBySeed) {
+  ChungLuConfig cfg;
+  cfg.num_vertices = 500;
+  auto a = std::move(ChungLu(cfg)).value();
+  auto b = std::move(ChungLu(cfg)).value();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  for (VertexId v = 0; v < 100; ++v) {
+    EXPECT_EQ(a.OutDegree(v), b.OutDegree(v));
+  }
+}
+
+TEST(BarabasiAlbertTest, EveryNewVertexAttaches) {
+  auto g = BarabasiAlbert(1000, 3, 1);
+  ASSERT_TRUE(g.ok());
+  for (VertexId v = 4; v < g->num_vertices(); ++v) {
+    EXPECT_GE(g->OutDegree(v), 3u);
+  }
+}
+
+TEST(BarabasiAlbertTest, RejectsTooSmall) {
+  EXPECT_FALSE(BarabasiAlbert(3, 5, 1).ok());
+}
+
+TEST(TaobaoTest, SchemaMatchesPaper) {
+  auto g = std::move(Taobao(TaobaoSmallConfig(0.05))).value();
+  const GraphSchema& schema = g.schema();
+  EXPECT_TRUE(schema.VertexTypeId("user").ok());
+  EXPECT_TRUE(schema.VertexTypeId("item").ok());
+  for (const char* et : {"click", "collect", "cart", "buy", "co_occur"}) {
+    EXPECT_TRUE(schema.EdgeTypeId(et).ok()) << et;
+  }
+  EXPECT_TRUE(schema.IsHeterogeneous());
+}
+
+TEST(TaobaoTest, UserItemPartitioning) {
+  TaobaoConfig cfg = TaobaoSmallConfig(0.05);
+  auto g = std::move(Taobao(cfg)).value();
+  const VertexType user = g.schema().VertexTypeId("user").value();
+  const VertexType item = g.schema().VertexTypeId("item").value();
+  EXPECT_EQ(g.VerticesOfType(user).size(), cfg.num_users);
+  EXPECT_EQ(g.VerticesOfType(item).size(), cfg.num_items);
+  // Behaviour edges always point user -> item.
+  const EdgeType click = g.schema().EdgeTypeId("click").value();
+  for (VertexId v : g.VerticesOfType(user)) {
+    for (const Neighbor& nb : g.OutNeighbors(v, click)) {
+      EXPECT_EQ(g.vertex_type(nb.dst), item);
+    }
+  }
+}
+
+TEST(TaobaoTest, AttributesDeduplicated) {
+  auto g = std::move(Taobao(TaobaoSmallConfig(0.1))).value();
+  // Profiles come from small pools, so distinct records << references.
+  EXPECT_LT(g.vertex_attributes().num_records(),
+            g.vertex_attributes().num_references() / 10);
+}
+
+TEST(TaobaoTest, LargePresetIsRoughlySixTimesSmall) {
+  auto small = std::move(Taobao(TaobaoSmallConfig(0.02))).value();
+  auto large = std::move(Taobao(TaobaoLargeConfig(0.02))).value();
+  const double ratio = static_cast<double>(large.num_edges()) /
+                       static_cast<double>(small.num_edges());
+  EXPECT_GT(ratio, 5.0);
+  EXPECT_LT(ratio, 15.0);
+}
+
+TEST(TaobaoTest, ItemBrandCategoryReadable) {
+  auto g = std::move(Taobao(TaobaoSmallConfig(0.05))).value();
+  const VertexType item = g.schema().VertexTypeId("item").value();
+  std::set<uint32_t> brands, cats;
+  for (VertexId v : g.VerticesOfType(item)) {
+    const uint32_t b = ItemBrand(g, v);
+    const uint32_t c = ItemCategory(g, v);
+    EXPECT_LT(b, kNumBrands);
+    EXPECT_LT(c, kNumCategories);
+    brands.insert(b);
+    cats.insert(c);
+  }
+  EXPECT_GT(brands.size(), 3u);
+  EXPECT_GT(cats.size(), 3u);
+}
+
+TEST(AmazonTest, MatchesTable6Shape) {
+  AmazonConfig cfg;  // defaults mirror Table 6
+  auto g = std::move(Amazon(cfg)).value();
+  EXPECT_EQ(g.num_vertices(), 10166u);
+  // Undirected: stored edges ~ 2x requested minus self-loop skips.
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), 148865.0,
+              148865.0 * 0.05);
+  EXPECT_EQ(g.schema().num_vertex_types(), 2u);  // default + product
+  EXPECT_TRUE(g.schema().EdgeTypeId("co_view").ok());
+  EXPECT_TRUE(g.schema().EdgeTypeId("co_buy").ok());
+}
+
+TEST(DynamicGenTest, SnapshotsGrowMonotonically) {
+  DynamicConfig cfg;
+  cfg.num_vertices = 500;
+  cfg.num_timestamps = 4;
+  cfg.base_edges = 2000;
+  cfg.normal_edges_per_step = 300;
+  cfg.burst_size = 50;
+  auto dg = std::move(GenerateDynamic(cfg)).value();
+  ASSERT_EQ(dg.num_timestamps(), 4u);
+  for (Timestamp t = 2; t <= 4; ++t) {
+    EXPECT_GT(dg.Snapshot(t).num_edges(), dg.Snapshot(t - 1).num_edges());
+  }
+}
+
+TEST(DynamicGenTest, BurstAndNormalLabelsPresent) {
+  DynamicConfig cfg;
+  cfg.num_vertices = 500;
+  cfg.num_timestamps = 3;
+  auto dg = std::move(GenerateDynamic(cfg)).value();
+  size_t normal = 0, burst = 0;
+  for (Timestamp t = 2; t <= 3; ++t) {
+    for (const DynamicEdge& e : dg.DeltaAt(t)) {
+      (e.kind == EvolutionKind::kBurst ? burst : normal) += 1;
+    }
+  }
+  EXPECT_GT(normal, 0u);
+  EXPECT_GT(burst, 0u);
+  // Bursts are the rare class.
+  EXPECT_LT(burst, normal);
+}
+
+TEST(DynamicGenTest, BurstsConcentrateOnHubs) {
+  DynamicConfig cfg;
+  cfg.num_vertices = 1000;
+  cfg.num_timestamps = 2;
+  cfg.bursts_per_step = 1;
+  cfg.burst_size = 200;
+  auto dg = std::move(GenerateDynamic(cfg)).value();
+  std::set<VertexId> burst_sources;
+  for (const DynamicEdge& e : dg.DeltaAt(2)) {
+    if (e.kind == EvolutionKind::kBurst) burst_sources.insert(e.edge.src);
+  }
+  // One burst event = one hub.
+  EXPECT_LE(burst_sources.size(), 1u);
+}
+
+TEST(DynamicGenTest, RejectsBadConfig) {
+  DynamicConfig cfg;
+  cfg.num_vertices = 1;
+  EXPECT_FALSE(GenerateDynamic(cfg).ok());
+}
+
+}  // namespace
+}  // namespace gen
+}  // namespace aligraph

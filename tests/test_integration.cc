@@ -1,0 +1,209 @@
+// End-to-end integration tests across layers: the sampling stage of the
+// paper's Figure 5 pseudocode executed against a distributed cluster built
+// with every partitioner and cache policy, feeding the operator layer, and
+// a full mini training pipeline.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "algo/gnn.h"
+#include "cluster/cluster.h"
+#include "eval/link_prediction.h"
+#include "gen/taobao.h"
+#include "nn/layers.h"
+#include "ops/hop_cache.h"
+#include "ops/operators.h"
+#include "partition/partitioner.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace {
+
+const AttributedGraph& Graph() {
+  static const AttributedGraph* g = [] {
+    return new AttributedGraph(
+        std::move(gen::Taobao(gen::TaobaoSmallConfig(0.05))).value());
+  }();
+  return *g;
+}
+
+// (partitioner name, cache policy name)
+using PipelineParam = std::tuple<std::string, std::string>;
+
+class PipelineTest : public ::testing::TestWithParam<PipelineParam> {
+ protected:
+  void InstallCache(Cluster& cluster, const std::string& policy) {
+    if (policy == "none") return;
+    if (policy == "importance") {
+      cluster.InstallTopImportanceCache(1, 0.2);
+    } else if (policy == "random") {
+      cluster.InstallRandomCache(0.2, 11);
+    } else if (policy == "lru") {
+      cluster.InstallLruCache(Graph().num_vertices() / 5);
+    }
+  }
+};
+
+// The sampling stage of Figure 5: TRAVERSE seeds, NEIGHBORHOOD context,
+// NEGATIVE noise — executed through the distributed cluster; every piece
+// of returned data must be consistent with the source graph.
+TEST_P(PipelineTest, Figure5SamplingStage) {
+  const auto& [partitioner_name, cache_policy] = GetParam();
+  const AttributedGraph& graph = Graph();
+  auto partitioner = std::move(MakePartitioner(partitioner_name)).value();
+  auto cluster = std::move(Cluster::Build(graph, *partitioner, 3)).value();
+  InstallCache(cluster, cache_policy);
+
+  CommStats stats;
+  DistributedNeighborSource source(cluster, /*worker=*/0, &stats);
+
+  // s1: TRAVERSE — a batch of seed vertices from worker 0's partition.
+  TraverseSampler s1(
+      std::vector<VertexId>(cluster.server(0).owned_vertices()), 3);
+  const auto vertex = s1.Sample(32);
+  ASSERT_EQ(vertex.size(), 32u);
+  for (VertexId v : vertex) EXPECT_EQ(cluster.OwnerOf(v), 0u);
+
+  // s2: NEIGHBORHOOD — hop_nums context per seed.
+  NeighborhoodSampler s2(NeighborStrategy::kUniform, 5);
+  const std::vector<uint32_t> hop_nums{4, 2};
+  const auto context = s2.Sample(
+      source, vertex, NeighborhoodSampler::kAllEdgeTypes, hop_nums);
+  ASSERT_EQ(context.hops.size(), 2u);
+  EXPECT_EQ(context.hops[0].size(), 32u * 4);
+  EXPECT_EQ(context.hops[1].size(), 32u * 4 * 2);
+  // Every sampled hop-1 vertex is a real neighbor (or the fallback self).
+  for (size_t i = 0; i < vertex.size(); ++i) {
+    const auto nbs = graph.OutNeighbors(vertex[i]);
+    for (uint32_t j = 0; j < 4; ++j) {
+      const VertexId u = context.hops[0][i * 4 + j];
+      if (u == vertex[i]) continue;  // isolated-vertex fallback
+      bool found = false;
+      for (const Neighbor& nb : nbs) {
+        if (nb.dst == u) found = true;
+      }
+      EXPECT_TRUE(found) << partitioner_name << "/" << cache_policy;
+    }
+  }
+
+  // s3: NEGATIVE — noise vertices, none equal to the positives.
+  std::vector<VertexId> all(graph.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  NegativeSampler s3(graph, all, 0.75, 7);
+  for (VertexId v : vertex) {
+    for (VertexId neg : s3.Sample(4, v)) EXPECT_NE(neg, v);
+  }
+
+  // Communication accounting is consistent.
+  EXPECT_EQ(stats.TotalReads(),
+            stats.local_reads.load() + stats.cache_hits.load() +
+                stats.remote_reads.load());
+  if (cache_policy == "none") EXPECT_EQ(stats.cache_hits.load(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, PipelineTest,
+    ::testing::Combine(::testing::Values("edge_cut", "vertex_cut", "grid2d",
+                                         "streaming", "metis"),
+                       ::testing::Values("none", "importance", "random",
+                                         "lru")));
+
+// The operator stage consuming sampled context: gather features, AGGREGATE,
+// COMBINE, with the hop cache avoiding recomputation; verifies the cached
+// and uncached paths produce identical embeddings.
+TEST(OperatorPipelineTest, CachedAndUncachedAgree) {
+  const AttributedGraph& graph = Graph();
+  Rng rng(3);
+  const size_t d = 16;
+  nn::Matrix x(graph.num_vertices(), d);
+  for (size_t i = 0; i < x.size(); ++i) x.data()[i] = rng.NextFloat();
+
+  ops::MeanAggregator agg;
+  ops::ConcatCombiner combine(d, d, rng);
+
+  LocalNeighborSource source(graph);
+  NeighborhoodSampler hood(NeighborStrategy::kUniform, 7);
+  const std::vector<VertexId> roots{1, 2, 3};
+  const std::vector<uint32_t> fans{3};
+  const auto tree = hood.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  auto compute = [&](VertexId v, std::span<const VertexId> nbs) {
+    nn::Matrix self(1, d);
+    std::copy(x.Row(v).begin(), x.Row(v).end(), self.Row(0).begin());
+    nn::Matrix neigh(nbs.size(), d);
+    for (size_t f = 0; f < nbs.size(); ++f) {
+      std::copy(x.Row(nbs[f]).begin(), x.Row(nbs[f]).end(),
+                neigh.Row(f).begin());
+    }
+    const nn::Matrix a = agg.Forward(neigh, nbs.size());
+    return combine.Forward(self, a);
+  };
+
+  // Two passes over the same sampled tree: pass 1 computes and fills the
+  // cache, pass 2 must be served entirely from it with identical rows.
+  ops::HopEmbeddingCache cache(d);
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t i = 0; i < roots.size(); ++i) {
+      std::span<const VertexId> nbs(tree.hops[0].data() + i * 3, 3);
+      const nn::Matrix direct = compute(roots[i], nbs);
+      auto hit = cache.Lookup(1, roots[i]);
+      if (hit.empty()) {
+        cache.Insert(1, roots[i], direct.Row(0));
+        hit = cache.Lookup(1, roots[i]);
+      }
+      for (size_t j = 0; j < d; ++j) {
+        EXPECT_FLOAT_EQ(hit[j], direct.At(0, j))
+            << "pass " << pass << " root " << i;
+      }
+    }
+  }
+  EXPECT_EQ(cache.size(), 3u);  // three distinct roots
+  EXPECT_EQ(cache.hits(), 3u + 3u);  // re-lookups + pass-2 lookups
+}
+
+// Full training pipeline sanity: split -> train GraphSAGE -> evaluate;
+// must beat random embeddings on the community-structured AHG.
+TEST(TrainingPipelineTest, EndToEndBeatsRandom) {
+  const AttributedGraph& graph = Graph();
+  auto split = std::move(eval::SplitLinkPrediction(graph, 0.2, 13)).value();
+
+  algo::GnnConfig cfg;
+  cfg.dim = 16;
+  cfg.feature_dim = 16;
+  cfg.epochs = 1;
+  cfg.batches_per_epoch = 48;
+  algo::GraphSage sage(cfg);
+  auto emb = std::move(sage.Embed(split.train)).value();
+  const auto trained = eval::EvaluateLinkPrediction(emb, split);
+
+  Rng rng(29);
+  nn::Matrix random =
+      nn::Matrix::Gaussian(graph.num_vertices(), 16, 1.0f, rng);
+  const auto baseline = eval::EvaluateLinkPrediction(random, split);
+  EXPECT_GT(trained.roc_auc, baseline.roc_auc + 0.05);
+}
+
+// The same duplicated-sampling invariant NeighborhoodSample guarantees:
+// identical roots within a batch get identical subtrees only when the
+// sampler is deterministic per position — verify shape invariants instead.
+TEST(SamplerShapeTest, ThreeHopShapes) {
+  const AttributedGraph& graph = Graph();
+  LocalNeighborSource source(graph);
+  NeighborhoodSampler hood(NeighborStrategy::kWeighted, 11);
+  std::vector<VertexId> roots(7, 0);
+  const std::vector<uint32_t> fans{2, 3, 2};
+  const auto tree = hood.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  ASSERT_EQ(tree.hops.size(), 3u);
+  EXPECT_EQ(tree.hops[0].size(), 14u);
+  EXPECT_EQ(tree.hops[1].size(), 42u);
+  EXPECT_EQ(tree.hops[2].size(), 84u);
+}
+
+}  // namespace
+}  // namespace aligraph

@@ -1,0 +1,129 @@
+// Round-trip tests for the binary graph format.
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "gen/taobao.h"
+#include "graph/io.h"
+
+namespace aligraph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void ExpectGraphsEqual(const AttributedGraph& a, const AttributedGraph& b) {
+  ASSERT_EQ(a.num_vertices(), b.num_vertices());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_edge_types(), b.num_edge_types());
+  ASSERT_EQ(a.undirected(), b.undirected());
+  for (VertexId v = 0; v < a.num_vertices(); ++v) {
+    EXPECT_EQ(a.vertex_type(v), b.vertex_type(v));
+    const auto fa = a.VertexFeatures(v);
+    const auto fb = b.VertexFeatures(v);
+    ASSERT_EQ(fa.size(), fb.size()) << "vertex " << v;
+    for (size_t i = 0; i < fa.size(); ++i) EXPECT_FLOAT_EQ(fa[i], fb[i]);
+    for (size_t t = 0; t < a.num_edge_types(); ++t) {
+      const auto na = a.OutNeighbors(v, static_cast<EdgeType>(t));
+      const auto nb = b.OutNeighbors(v, static_cast<EdgeType>(t));
+      ASSERT_EQ(na.size(), nb.size()) << "vertex " << v << " type " << t;
+      for (size_t i = 0; i < na.size(); ++i) {
+        EXPECT_EQ(na[i].dst, nb[i].dst);
+        EXPECT_FLOAT_EQ(na[i].weight, nb[i].weight);
+      }
+    }
+  }
+}
+
+TEST(GraphIoTest, RoundTripDirectedWithAttributes) {
+  GraphSchema schema;
+  const VertexType user = schema.AddVertexType("user");
+  const EdgeType click = schema.AddEdgeType("click");
+  GraphBuilder gb(schema);
+  gb.AddVertex(user, {1.0f, 2.0f});
+  gb.AddVertex(user, {});
+  gb.AddVertex(0, {3.5f});
+  ASSERT_TRUE(gb.AddEdge(0, 1, click, 2.5f, {0.25f}).ok());
+  ASSERT_TRUE(gb.AddEdge(1, 2, 0, 1.0f).ok());
+  auto g = std::move(gb.Build()).value();
+
+  const std::string path = TempPath("roundtrip_directed.algr");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectGraphsEqual(g, *loaded);
+  // Schema names survive.
+  EXPECT_TRUE(loaded->schema().VertexTypeId("user").ok());
+  EXPECT_TRUE(loaded->schema().EdgeTypeId("click").ok());
+  // Edge attributes survive.
+  const auto nb = loaded->OutNeighbors(0, click);
+  ASSERT_EQ(nb.size(), 1u);
+  const auto edge_feats = loaded->EdgeFeatures(nb[0]);
+  ASSERT_EQ(edge_feats.size(), 1u);
+  EXPECT_FLOAT_EQ(edge_feats[0], 0.25f);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripUndirected) {
+  GraphBuilder gb(GraphSchema(), /*undirected=*/true);
+  for (int i = 0; i < 4; ++i) gb.AddVertex();
+  ASSERT_TRUE(gb.AddEdge(0, 1).ok());
+  ASSERT_TRUE(gb.AddEdge(2, 3, 0, 0.5f).ok());
+  auto g = std::move(gb.Build()).value();
+
+  const std::string path = TempPath("roundtrip_undirected.algr");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectGraphsEqual(g, *loaded);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, RoundTripSyntheticTaobao) {
+  auto g = std::move(gen::Taobao(gen::TaobaoSmallConfig(0.02))).value();
+  const std::string path = TempPath("roundtrip_taobao.algr");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  auto loaded = LoadGraph(path);
+  ASSERT_TRUE(loaded.ok());
+  ExpectGraphsEqual(g, *loaded);
+  // Attribute deduplication is re-established on load.
+  EXPECT_EQ(loaded->vertex_attributes().num_records(),
+            g.vertex_attributes().num_records());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  EXPECT_EQ(LoadGraph("/nonexistent/nope.algr").status().code(),
+            StatusCode::kIoError);
+}
+
+TEST(GraphIoTest, CorruptMagicFails) {
+  const std::string path = TempPath("corrupt.algr");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a graph", f);
+  std::fclose(f);
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, TruncatedFileFails) {
+  auto g = std::move(gen::Taobao(gen::TaobaoSmallConfig(0.02))).value();
+  const std::string path = TempPath("truncated.algr");
+  ASSERT_TRUE(SaveGraph(g, path).ok());
+  // Truncate to half.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  std::fseek(f, 0, SEEK_END);
+  const long full = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), full / 2), 0);
+  EXPECT_FALSE(LoadGraph(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aligraph

@@ -1,0 +1,175 @@
+// Tests for the four built-in graph partitioners (parameterized over the
+// plugin names) plus algorithm-specific properties.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "gen/powerlaw.h"
+#include "graph/graph.h"
+#include "partition/partitioner.h"
+
+namespace aligraph {
+namespace {
+
+AttributedGraph MakeTestGraph() {
+  gen::ChungLuConfig cfg;
+  cfg.num_vertices = 2000;
+  cfg.avg_degree = 8;
+  cfg.seed = 5;
+  auto g = gen::ChungLu(cfg);
+  EXPECT_TRUE(g.ok());
+  return std::move(g).value();
+}
+
+// Two clear communities joined by one bridge; a good partitioner at p=2
+// should cut few edges.
+AttributedGraph MakeTwoCommunities() {
+  GraphBuilder gb(GraphSchema(), /*undirected=*/true);
+  const int half = 60;
+  for (int i = 0; i < 2 * half; ++i) gb.AddVertex();
+  Rng rng(77);
+  auto dense = [&](int base) {
+    for (int i = 0; i < half; ++i) {
+      for (int e = 0; e < 5; ++e) {
+        const int j = static_cast<int>(rng.Uniform(half));
+        if (i != j) {
+          EXPECT_TRUE(gb.AddEdge(base + i, base + j).ok());
+        }
+      }
+    }
+  };
+  dense(0);
+  dense(half);
+  EXPECT_TRUE(gb.AddEdge(0, half).ok());  // single bridge
+  return std::move(gb.Build()).value();
+}
+
+class PartitionerParamTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PartitionerParamTest, FactoryResolvesName) {
+  auto p = MakePartitioner(GetParam());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ((*p)->name(), GetParam());
+}
+
+TEST_P(PartitionerParamTest, AssignsEveryVertexWithinRange) {
+  const AttributedGraph g = MakeTestGraph();
+  auto p = std::move(MakePartitioner(GetParam())).value();
+  for (uint32_t workers : {1u, 3u, 8u}) {
+    auto plan = p->Partition(g, workers);
+    ASSERT_TRUE(plan.ok()) << GetParam();
+    ASSERT_EQ(plan->vertex_owner.size(), g.num_vertices());
+    for (WorkerId w : plan->vertex_owner) EXPECT_LT(w, workers);
+  }
+}
+
+TEST_P(PartitionerParamTest, SingleWorkerHasNoCut) {
+  const AttributedGraph g = MakeTestGraph();
+  auto p = std::move(MakePartitioner(GetParam())).value();
+  auto plan = std::move(p->Partition(g, 1)).value();
+  const PartitionStats stats = ComputePartitionStats(g, plan);
+  EXPECT_DOUBLE_EQ(stats.edge_cut_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(stats.vertex_balance, 1.0);
+}
+
+TEST_P(PartitionerParamTest, ReasonableVertexBalance) {
+  const AttributedGraph g = MakeTestGraph();
+  auto p = std::move(MakePartitioner(GetParam())).value();
+  auto plan = std::move(p->Partition(g, 4)).value();
+  const PartitionStats stats = ComputePartitionStats(g, plan);
+  // No worker should hold more than 2.5x its fair share of vertices.
+  EXPECT_LT(stats.vertex_balance, 2.5) << GetParam();
+}
+
+TEST_P(PartitionerParamTest, RejectsZeroWorkers) {
+  const AttributedGraph g = MakeTestGraph();
+  auto p = std::move(MakePartitioner(GetParam())).value();
+  EXPECT_FALSE(p->Partition(g, 0).ok());
+}
+
+TEST_P(PartitionerParamTest, DeterministicAcrossRuns) {
+  const AttributedGraph g = MakeTestGraph();
+  auto p = std::move(MakePartitioner(GetParam())).value();
+  auto a = std::move(p->Partition(g, 4)).value();
+  auto b = std::move(p->Partition(g, 4)).value();
+  EXPECT_EQ(a.vertex_owner, b.vertex_owner);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPartitioners, PartitionerParamTest,
+                         ::testing::Values("edge_cut", "vertex_cut", "grid2d",
+                                           "streaming", "metis"));
+
+TEST(PartitionerFactoryTest, UnknownNameFails) {
+  EXPECT_FALSE(MakePartitioner("nope").ok());
+}
+
+TEST(MetisPartitionerTest, BeatsHashOnCommunityGraph) {
+  const AttributedGraph g = MakeTwoCommunities();
+  auto metis_plan =
+      std::move(MetisPartitioner().Partition(g, 2)).value();
+  auto hash_plan =
+      std::move(EdgeCutPartitioner().Partition(g, 2)).value();
+  const double metis_cut =
+      ComputePartitionStats(g, metis_plan).edge_cut_fraction;
+  const double hash_cut =
+      ComputePartitionStats(g, hash_plan).edge_cut_fraction;
+  // Hash cuts ~50%; multilevel partitioning must do much better on a graph
+  // with two planted communities.
+  EXPECT_LT(metis_cut, hash_cut * 0.6);
+}
+
+TEST(StreamingPartitionerTest, BeatsHashOnCommunityGraph) {
+  const AttributedGraph g = MakeTwoCommunities();
+  auto stream_plan =
+      std::move(StreamingPartitioner().Partition(g, 2)).value();
+  auto hash_plan = std::move(EdgeCutPartitioner().Partition(g, 2)).value();
+  EXPECT_LT(ComputePartitionStats(g, stream_plan).edge_cut_fraction,
+            ComputePartitionStats(g, hash_plan).edge_cut_fraction);
+}
+
+TEST(VertexCutPartitionerTest, ReportsReplicationFactor) {
+  const AttributedGraph g = MakeTestGraph();
+  double replication = 0;
+  auto plan = VertexCutPartitioner().PartitionWithReplication(g, 8,
+                                                              &replication);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GE(replication, 1.0);
+  EXPECT_LE(replication, 8.0);
+}
+
+TEST(Grid2DPartitionerTest, UsesAllWorkersOnLargeGraph) {
+  const AttributedGraph g = MakeTestGraph();
+  auto plan = std::move(Grid2DPartitioner().Partition(g, 6)).value();
+  std::vector<int> used(6, 0);
+  for (WorkerId w : plan.vertex_owner) used[w] = 1;
+  EXPECT_EQ(std::count(used.begin(), used.end(), 1), 6);
+}
+
+TEST(PartitionPlanTest, EdgeAssignmentFollowsSource) {
+  PartitionPlan plan;
+  plan.num_workers = 2;
+  plan.vertex_owner = {0, 1};
+  EXPECT_EQ(plan.AssignEdge(0, 1), 0u);
+  EXPECT_EQ(plan.AssignEdge(1, 0), 1u);
+}
+
+TEST(PartitionStatsTest, CrossEdgesCounted) {
+  GraphBuilder gb;
+  gb.AddVertex();
+  gb.AddVertex();
+  ASSERT_TRUE(gb.AddEdge(0, 1).ok());
+  ASSERT_TRUE(gb.AddEdge(1, 0).ok());
+  auto g = std::move(gb.Build()).value();
+  PartitionPlan plan;
+  plan.num_workers = 2;
+  plan.vertex_owner = {0, 1};
+  const PartitionStats stats = ComputePartitionStats(g, plan);
+  EXPECT_DOUBLE_EQ(stats.edge_cut_fraction, 1.0);
+}
+
+}  // namespace
+}  // namespace aligraph

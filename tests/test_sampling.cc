@@ -1,0 +1,227 @@
+// Tests for the sampling layer: TRAVERSE, NEIGHBORHOOD, NEGATIVE samplers
+// and dynamic-weight sampling.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "gen/taobao.h"
+#include "graph/graph.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace {
+
+// Star graph: 0 -> {1..4} with increasing weights, plus 5 isolated.
+AttributedGraph MakeStar() {
+  GraphBuilder gb;
+  for (int i = 0; i < 6; ++i) gb.AddVertex();
+  for (VertexId v = 1; v <= 4; ++v) {
+    EXPECT_TRUE(gb.AddEdge(0, v, 0, static_cast<float>(v)).ok());
+  }
+  return std::move(gb.Build()).value();
+}
+
+TEST(TraverseSamplerTest, SamplesFromPoolOnly) {
+  TraverseSampler sampler({10, 20, 30});
+  const auto batch = sampler.Sample(100);
+  ASSERT_EQ(batch.size(), 100u);
+  for (VertexId v : batch) {
+    EXPECT_TRUE(v == 10 || v == 20 || v == 30);
+  }
+}
+
+TEST(TraverseSamplerTest, EmptyPoolYieldsEmptyBatch) {
+  TraverseSampler sampler({});
+  EXPECT_TRUE(sampler.Sample(10).empty());
+}
+
+TEST(TraverseSamplerTest, RoughlyUniform) {
+  TraverseSampler sampler({0, 1, 2, 3});
+  std::unordered_map<VertexId, int> counts;
+  for (VertexId v : sampler.Sample(40000)) ++counts[v];
+  for (const auto& [v, c] : counts) {
+    EXPECT_NEAR(c / 40000.0, 0.25, 0.02);
+  }
+}
+
+TEST(TraverseSamplerTest, SampleEdgesReturnsRealEdges) {
+  const AttributedGraph g = MakeStar();
+  LocalNeighborSource source(g);
+  std::vector<VertexId> pool(g.num_vertices());
+  std::iota(pool.begin(), pool.end(), 0);
+  TraverseSampler sampler(pool);
+  const auto edges = sampler.SampleEdges(source, 0, 50);
+  EXPECT_FALSE(edges.empty());
+  for (const auto& [src, nb] : edges) {
+    EXPECT_EQ(src, 0u);  // only vertex 0 has out-edges
+    EXPECT_GE(nb.dst, 1u);
+    EXPECT_LE(nb.dst, 4u);
+  }
+}
+
+TEST(NeighborhoodSamplerTest, ShapesAreAligned) {
+  const AttributedGraph g = MakeStar();
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler;
+  const std::vector<VertexId> roots{0, 0, 5};
+  const std::vector<uint32_t> fans{3, 2};
+  const auto sample = sampler.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  ASSERT_EQ(sample.hops.size(), 2u);
+  EXPECT_EQ(sample.hops[0].size(), roots.size() * 3);
+  EXPECT_EQ(sample.hops[1].size(), roots.size() * 3 * 2);
+}
+
+TEST(NeighborhoodSamplerTest, IsolatedVertexFallsBackToSelf) {
+  const AttributedGraph g = MakeStar();
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler;
+  const std::vector<VertexId> roots{5};
+  const std::vector<uint32_t> fans{4};
+  const auto sample = sampler.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  for (VertexId v : sample.hops[0]) EXPECT_EQ(v, 5u);
+}
+
+TEST(NeighborhoodSamplerTest, SampledVerticesAreNeighbors) {
+  const AttributedGraph g = MakeStar();
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler;
+  const std::vector<VertexId> roots{0};
+  const std::vector<uint32_t> fans{16};
+  const auto sample = sampler.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  for (VertexId v : sample.hops[0]) {
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 4u);
+  }
+}
+
+TEST(NeighborhoodSamplerTest, WeightedPrefersHeavyEdges) {
+  const AttributedGraph g = MakeStar();  // weight of 0->4 is 4x that of 0->1
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler(NeighborStrategy::kWeighted);
+  const std::vector<VertexId> roots{0};
+  const std::vector<uint32_t> fans{4000};
+  const auto sample = sampler.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  size_t heavy = 0, light = 0;
+  for (VertexId v : sample.hops[0]) {
+    if (v == 4) ++heavy;
+    if (v == 1) ++light;
+  }
+  EXPECT_GT(heavy, light * 2);
+}
+
+TEST(NeighborhoodSamplerTest, TopKIsDeterministicHeaviest) {
+  const AttributedGraph g = MakeStar();
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler(NeighborStrategy::kTopK);
+  const std::vector<VertexId> roots{0};
+  const std::vector<uint32_t> fans{2};
+  const auto sample = sampler.Sample(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  // Ranks 0 and 1 of the weights {1,2,3,4} are vertices 4 and 3.
+  std::multiset<VertexId> got(sample.hops[0].begin(), sample.hops[0].end());
+  EXPECT_TRUE(got.count(4));
+  EXPECT_TRUE(got.count(3));
+}
+
+TEST(NeighborhoodSamplerTest, TypeRestrictedSampling) {
+  auto taobao = std::move(gen::Taobao(gen::TaobaoSmallConfig(0.05))).value();
+  const EdgeType click = taobao.schema().EdgeTypeId("click").value();
+  LocalNeighborSource source(taobao);
+  // Find a user with click edges.
+  VertexId root = kInvalidVertex;
+  for (VertexId v = 0; v < taobao.num_vertices(); ++v) {
+    if (!taobao.OutNeighbors(v, click).empty()) {
+      root = v;
+      break;
+    }
+  }
+  ASSERT_NE(root, kInvalidVertex);
+  NeighborhoodSampler sampler;
+  const std::vector<VertexId> roots{root};
+  const std::vector<uint32_t> fans{8};
+  const auto sample = sampler.Sample(source, roots, click, fans);
+  std::set<VertexId> click_targets;
+  for (const Neighbor& nb : taobao.OutNeighbors(root, click)) {
+    click_targets.insert(nb.dst);
+  }
+  for (VertexId v : sample.hops[0]) {
+    EXPECT_TRUE(click_targets.count(v)) << v;
+  }
+}
+
+TEST(NegativeSamplerTest, ExcludesPositive) {
+  const AttributedGraph g = MakeStar();
+  NegativeSampler sampler(g, {1, 2, 3, 4});
+  for (int i = 0; i < 50; ++i) {
+    for (VertexId v : sampler.Sample(3, 2)) EXPECT_NE(v, 2u);
+  }
+}
+
+TEST(NegativeSamplerTest, DegreeBiased) {
+  // Vertex 0 of the star has degree 4 + in 0; vertices 1..4 have in-degree
+  // 1. With power 0.75, 0 should be sampled most often.
+  const AttributedGraph g = MakeStar();
+  NegativeSampler sampler(g, {0, 1, 2, 3, 4, 5});
+  std::unordered_map<VertexId, int> counts;
+  for (VertexId v : sampler.Sample(20000, kInvalidVertex)) ++counts[v];
+  EXPECT_GT(counts[0], counts[5]);
+}
+
+TEST(NegativeSamplerTest, EmptyCandidatesSafe) {
+  const AttributedGraph g = MakeStar();
+  NegativeSampler sampler(g, {});
+  EXPECT_TRUE(sampler.Sample(5, 0).empty());
+}
+
+TEST(DynamicWeightedSamplerTest, InitialDistributionFollowsWeights) {
+  DynamicWeightedSampler sampler({10, 11}, {1.0, 9.0}, 16);
+  int heavy = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (sampler.Sample() == 11) ++heavy;
+  }
+  EXPECT_NEAR(heavy / 10000.0, 0.9, 0.03);
+}
+
+TEST(DynamicWeightedSamplerTest, BackwardUpdateShiftsDistribution) {
+  DynamicWeightedSampler sampler({10, 11}, {1.0, 1.0}, /*rebuild_every=*/1);
+  sampler.Update(11, 9.0);  // w(11) = 10
+  EXPECT_DOUBLE_EQ(sampler.WeightOf(11), 10.0);
+  int heavy = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (sampler.Sample() == 11) ++heavy;
+  }
+  EXPECT_GT(heavy, 8500);
+}
+
+TEST(DynamicWeightedSamplerTest, WeightsClampedAtZero) {
+  DynamicWeightedSampler sampler({1, 2}, {1.0, 1.0}, 1);
+  sampler.Update(1, -5.0);
+  EXPECT_DOUBLE_EQ(sampler.WeightOf(1), 0.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.Sample(), 2u);
+}
+
+TEST(DynamicWeightedSamplerTest, LazyRebuildBatchesUpdates) {
+  DynamicWeightedSampler sampler({1, 2}, {1.0, 1.0}, /*rebuild_every=*/10);
+  for (int i = 0; i < 9; ++i) sampler.Update(2, 1.0);
+  EXPECT_EQ(sampler.updates_since_rebuild(), 9u);
+  sampler.Update(2, 1.0);  // triggers rebuild
+  EXPECT_EQ(sampler.updates_since_rebuild(), 0u);
+}
+
+TEST(DynamicWeightedSamplerTest, UnknownVertexUpdateIgnored) {
+  DynamicWeightedSampler sampler({1}, {1.0}, 1);
+  sampler.Update(99, 5.0);
+  EXPECT_DOUBLE_EQ(sampler.WeightOf(99), 0.0);
+  EXPECT_DOUBLE_EQ(sampler.WeightOf(1), 1.0);
+}
+
+}  // namespace
+}  // namespace aligraph

@@ -1,0 +1,102 @@
+// Property tests for the paper's Theorems 1 and 2: on power-law graphs the
+// k-hop in/out neighborhood counts and the importance metric
+// Imp_k(v) = D_i^k / D_o^k are themselves power-law distributed.
+//
+// We verify empirically on Chung-Lu graphs: the log-log histogram of each
+// quantity is strongly linear (r^2 high) with a negative slope, and only a
+// small fraction of vertices have large importance — the fact that makes
+// importance-based caching cheap (Section 3.2).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/histogram.h"
+#include "gen/powerlaw.h"
+#include "graph/khop.h"
+#include "storage/importance.h"
+
+namespace aligraph {
+namespace {
+
+class TheoremTest : public ::testing::TestWithParam<int> {
+ protected:
+  static AttributedGraph MakeGraph() {
+    gen::ChungLuConfig cfg;
+    cfg.num_vertices = 30000;
+    cfg.avg_degree = 10;
+    cfg.gamma = 2.3;
+    cfg.seed = 1234;
+    return std::move(gen::ChungLu(cfg)).value();
+  }
+};
+
+TEST_P(TheoremTest, Theorem1KHopOutCountsArePowerLaw) {
+  const AttributedGraph g = MakeGraph();
+  const int k = GetParam();
+  const auto counts = KHopOutCounts(g, k);
+  const PowerLawFit fit = FitPowerLawSlope(counts);
+  EXPECT_GT(fit.points, 5u);
+  EXPECT_LT(fit.slope, -0.8) << "k=" << k;
+  EXPECT_GT(fit.r_squared, 0.7) << "k=" << k;
+}
+
+TEST_P(TheoremTest, Theorem1KHopInCountsArePowerLaw) {
+  const AttributedGraph g = MakeGraph();
+  const int k = GetParam();
+  const auto counts = KHopInCounts(g, k);
+  const PowerLawFit fit = FitPowerLawSlope(counts);
+  EXPECT_GT(fit.points, 5u);
+  EXPECT_LT(fit.slope, -0.8) << "k=" << k;
+  EXPECT_GT(fit.r_squared, 0.7) << "k=" << k;
+}
+
+TEST_P(TheoremTest, Theorem2ImportanceIsPowerLaw) {
+  const AttributedGraph g = MakeGraph();
+  const int k = GetParam();
+  const auto imp = ImportanceScores(g, k);
+  // Scale up so the fitter's >= 1 domain captures the distribution body.
+  std::vector<double> scaled;
+  scaled.reserve(imp.size());
+  for (double v : imp) scaled.push_back(v * 10.0);
+  const PowerLawFit fit = FitPowerLawSlope(scaled);
+  EXPECT_GT(fit.points, 5u);
+  EXPECT_LT(fit.slope, -0.8) << "k=" << k;
+  EXPECT_GT(fit.r_squared, 0.6) << "k=" << k;
+}
+
+TEST_P(TheoremTest, OnlyFewVerticesAreImportant) {
+  // The consequence the paper draws from Theorem 2: because importance is
+  // power-law, the qualifying fraction shrinks rapidly as the threshold
+  // grows, so caching needs only a small vertex fraction.
+  const AttributedGraph g = MakeGraph();
+  const int k = GetParam();
+  const double at2 = CacheRateAtThreshold(g, k, 2.0);
+  const double at20 = CacheRateAtThreshold(g, k, 20.0);
+  EXPECT_LT(at20, 0.1) << "k=" << k;
+  EXPECT_GT(at20, 0.0) << "k=" << k;
+  EXPECT_LT(at20, at2 / 3.0) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(Hops, TheoremTest, ::testing::Values(1, 2, 3));
+
+TEST(TheoremConsequenceTest, CacheRateDropsSharplyThenFlattens) {
+  // Figure 8's shape: the cache-rate curve is convex — the per-unit-tau
+  // decline at small thresholds far exceeds the decline in the tail.
+  gen::ChungLuConfig cfg;
+  cfg.num_vertices = 20000;
+  cfg.avg_degree = 8;
+  cfg.seed = 77;
+  const AttributedGraph g = std::move(gen::ChungLu(cfg)).value();
+  const double early_slope =
+      (CacheRateAtThreshold(g, 2, 0.05) - CacheRateAtThreshold(g, 2, 0.45)) /
+      0.4;
+  const double tail_slope =
+      (CacheRateAtThreshold(g, 2, 1.5) - CacheRateAtThreshold(g, 2, 3.0)) /
+      1.5;
+  EXPECT_GT(early_slope, 2.0 * tail_slope);
+}
+
+}  // namespace
+}  // namespace aligraph
