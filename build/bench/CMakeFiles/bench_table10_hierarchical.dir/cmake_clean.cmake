@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table10_hierarchical.dir/bench_table10_hierarchical.cc.o"
+  "CMakeFiles/bench_table10_hierarchical.dir/bench_table10_hierarchical.cc.o.d"
+  "bench_table10_hierarchical"
+  "bench_table10_hierarchical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table10_hierarchical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table11_evolving.dir/bench_table11_evolving.cc.o"
+  "CMakeFiles/bench_table11_evolving.dir/bench_table11_evolving.cc.o.d"
+  "bench_table11_evolving"
+  "bench_table11_evolving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table11_evolving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

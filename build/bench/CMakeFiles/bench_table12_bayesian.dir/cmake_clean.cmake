@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table12_bayesian.dir/bench_table12_bayesian.cc.o"
+  "CMakeFiles/bench_table12_bayesian.dir/bench_table12_bayesian.cc.o.d"
+  "bench_table12_bayesian"
+  "bench_table12_bayesian.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table12_bayesian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_ahep.dir/bench_table7_ahep.cc.o"
+  "CMakeFiles/bench_table7_ahep.dir/bench_table7_ahep.cc.o.d"
+  "bench_table7_ahep"
+  "bench_table7_ahep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_ahep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

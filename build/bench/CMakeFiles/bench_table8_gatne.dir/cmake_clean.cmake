@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_gatne.dir/bench_table8_gatne.cc.o"
+  "CMakeFiles/bench_table8_gatne.dir/bench_table8_gatne.cc.o.d"
+  "bench_table8_gatne"
+  "bench_table8_gatne.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_gatne.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

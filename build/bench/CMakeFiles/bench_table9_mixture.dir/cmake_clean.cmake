@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_mixture.dir/bench_table9_mixture.cc.o"
+  "CMakeFiles/bench_table9_mixture.dir/bench_table9_mixture.cc.o.d"
+  "bench_table9_mixture"
+  "bench_table9_mixture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_mixture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_distributed_storage.dir/distributed_storage.cpp.o"
+  "CMakeFiles/example_distributed_storage.dir/distributed_storage.cpp.o.d"
+  "example_distributed_storage"
+  "example_distributed_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_distributed_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

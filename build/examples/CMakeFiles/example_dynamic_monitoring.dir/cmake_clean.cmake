@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dynamic_monitoring.dir/dynamic_monitoring.cpp.o"
+  "CMakeFiles/example_dynamic_monitoring.dir/dynamic_monitoring.cpp.o.d"
+  "example_dynamic_monitoring"
+  "example_dynamic_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dynamic_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

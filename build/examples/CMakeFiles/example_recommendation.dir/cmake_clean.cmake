@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_recommendation.dir/recommendation.cpp.o"
+  "CMakeFiles/example_recommendation.dir/recommendation.cpp.o.d"
+  "example_recommendation"
+  "example_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/bayesian.cc" "src/CMakeFiles/aligraph.dir/algo/bayesian.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/bayesian.cc.o.d"
+  "/root/repo/src/algo/classic.cc" "src/CMakeFiles/aligraph.dir/algo/classic.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/classic.cc.o.d"
+  "/root/repo/src/algo/embedding_algorithm.cc" "src/CMakeFiles/aligraph.dir/algo/embedding_algorithm.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/embedding_algorithm.cc.o.d"
+  "/root/repo/src/algo/evolving.cc" "src/CMakeFiles/aligraph.dir/algo/evolving.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/evolving.cc.o.d"
+  "/root/repo/src/algo/gatne.cc" "src/CMakeFiles/aligraph.dir/algo/gatne.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/gatne.cc.o.d"
+  "/root/repo/src/algo/gnn.cc" "src/CMakeFiles/aligraph.dir/algo/gnn.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/gnn.cc.o.d"
+  "/root/repo/src/algo/hep.cc" "src/CMakeFiles/aligraph.dir/algo/hep.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/hep.cc.o.d"
+  "/root/repo/src/algo/heterogeneous.cc" "src/CMakeFiles/aligraph.dir/algo/heterogeneous.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/heterogeneous.cc.o.d"
+  "/root/repo/src/algo/hierarchical.cc" "src/CMakeFiles/aligraph.dir/algo/hierarchical.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/hierarchical.cc.o.d"
+  "/root/repo/src/algo/mixture.cc" "src/CMakeFiles/aligraph.dir/algo/mixture.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/algo/mixture.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/CMakeFiles/aligraph.dir/cluster/cluster.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/comm_model.cc" "src/CMakeFiles/aligraph.dir/cluster/comm_model.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/cluster/comm_model.cc.o.d"
+  "/root/repo/src/cluster/graph_server.cc" "src/CMakeFiles/aligraph.dir/cluster/graph_server.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/cluster/graph_server.cc.o.d"
+  "/root/repo/src/cluster/request_bucket.cc" "src/CMakeFiles/aligraph.dir/cluster/request_bucket.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/cluster/request_bucket.cc.o.d"
+  "/root/repo/src/common/alias_table.cc" "src/CMakeFiles/aligraph.dir/common/alias_table.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/common/alias_table.cc.o.d"
+  "/root/repo/src/common/histogram.cc" "src/CMakeFiles/aligraph.dir/common/histogram.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/common/histogram.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/aligraph.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/aligraph.dir/common/status.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/common/status.cc.o.d"
+  "/root/repo/src/common/threadpool.cc" "src/CMakeFiles/aligraph.dir/common/threadpool.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/common/threadpool.cc.o.d"
+  "/root/repo/src/eval/link_prediction.cc" "src/CMakeFiles/aligraph.dir/eval/link_prediction.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/eval/link_prediction.cc.o.d"
+  "/root/repo/src/eval/metrics.cc" "src/CMakeFiles/aligraph.dir/eval/metrics.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/eval/metrics.cc.o.d"
+  "/root/repo/src/gen/dynamic_gen.cc" "src/CMakeFiles/aligraph.dir/gen/dynamic_gen.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/gen/dynamic_gen.cc.o.d"
+  "/root/repo/src/gen/powerlaw.cc" "src/CMakeFiles/aligraph.dir/gen/powerlaw.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/gen/powerlaw.cc.o.d"
+  "/root/repo/src/gen/taobao.cc" "src/CMakeFiles/aligraph.dir/gen/taobao.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/gen/taobao.cc.o.d"
+  "/root/repo/src/graph/attributes.cc" "src/CMakeFiles/aligraph.dir/graph/attributes.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/graph/attributes.cc.o.d"
+  "/root/repo/src/graph/dynamic_graph.cc" "src/CMakeFiles/aligraph.dir/graph/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/graph/dynamic_graph.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/aligraph.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/aligraph.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/khop.cc" "src/CMakeFiles/aligraph.dir/graph/khop.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/graph/khop.cc.o.d"
+  "/root/repo/src/graph/schema.cc" "src/CMakeFiles/aligraph.dir/graph/schema.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/graph/schema.cc.o.d"
+  "/root/repo/src/nn/layers.cc" "src/CMakeFiles/aligraph.dir/nn/layers.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/nn/layers.cc.o.d"
+  "/root/repo/src/nn/matrix.cc" "src/CMakeFiles/aligraph.dir/nn/matrix.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/nn/matrix.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/aligraph.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/skipgram.cc" "src/CMakeFiles/aligraph.dir/nn/skipgram.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/nn/skipgram.cc.o.d"
+  "/root/repo/src/nn/walks.cc" "src/CMakeFiles/aligraph.dir/nn/walks.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/nn/walks.cc.o.d"
+  "/root/repo/src/ops/hop_cache.cc" "src/CMakeFiles/aligraph.dir/ops/hop_cache.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/ops/hop_cache.cc.o.d"
+  "/root/repo/src/ops/operators.cc" "src/CMakeFiles/aligraph.dir/ops/operators.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/ops/operators.cc.o.d"
+  "/root/repo/src/partition/metis.cc" "src/CMakeFiles/aligraph.dir/partition/metis.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/partition/metis.cc.o.d"
+  "/root/repo/src/partition/partitioner.cc" "src/CMakeFiles/aligraph.dir/partition/partitioner.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/partition/partitioner.cc.o.d"
+  "/root/repo/src/sampling/sampler.cc" "src/CMakeFiles/aligraph.dir/sampling/sampler.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/sampling/sampler.cc.o.d"
+  "/root/repo/src/storage/importance.cc" "src/CMakeFiles/aligraph.dir/storage/importance.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/storage/importance.cc.o.d"
+  "/root/repo/src/storage/neighbor_cache.cc" "src/CMakeFiles/aligraph.dir/storage/neighbor_cache.cc.o" "gcc" "src/CMakeFiles/aligraph.dir/storage/neighbor_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

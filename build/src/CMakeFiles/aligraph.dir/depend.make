@@ -1,0 +1,2 @@
+# Empty dependencies file for aligraph.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_algo.dir/test_algo.cc.o"
+  "CMakeFiles/test_algo.dir/test_algo.cc.o.d"
+  "test_algo"
+  "test_algo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_algo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
