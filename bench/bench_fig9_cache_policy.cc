@@ -5,9 +5,10 @@
 ///
 /// Workload: a fixed sequence of 2-hop neighborhood expansions issued from
 /// random workers. Cost = measured CPU time + modeled communication time
-/// (remote fetches charged CommModel::remote_latency_us each); the paper's
-/// 40-60% savings come from the remote-fetch counts, which this simulation
-/// reproduces exactly.
+/// (each individual remote fetch is one message: charged
+/// CommModel::remote_rpc_us + remote_item_us); the paper's 40-60% savings
+/// come from the remote-fetch counts, which this simulation reproduces
+/// exactly.
 
 #include <cstdio>
 #include <vector>
@@ -26,6 +27,7 @@ namespace {
 double RunWorkload(Cluster& cluster, const CommModel& model, uint64_t seed) {
   Rng rng(seed);
   CommStats stats;
+  const CommStats::Snapshot before = stats.snapshot();
   Timer timer;
   const VertexId n = cluster.graph().num_vertices();
   const uint32_t workers = cluster.num_workers();
@@ -39,7 +41,8 @@ double RunWorkload(Cluster& cluster, const CommModel& model, uint64_t seed) {
       cluster.GetNeighbors(from, u, &stats);
     }
   }
-  return timer.ElapsedMillis() + model.ModeledMillis(stats);
+  return timer.ElapsedMillis() +
+         model.ModeledMillis(stats.snapshot().Delta(before));
 }
 
 }  // namespace

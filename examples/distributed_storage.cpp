@@ -16,17 +16,25 @@ using namespace aligraph;
 
 namespace {
 
-void RunSamplingWorkload(Cluster& cluster, CommStats& stats) {
+// Runs a 2-hop NEIGHBORHOOD workload from every worker. With
+// `per_vertex` false the samplers issue one coalesced NeighborsBatch per
+// hop (one remote request per destination worker); with true every read is
+// an individual RPC, the pre-batching behaviour.
+void RunSamplingWorkload(Cluster& cluster, CommStats& stats,
+                         bool per_vertex = false) {
   NeighborhoodSampler hood;
   const std::vector<uint32_t> fans{8, 4};
   for (WorkerId w = 0; w < cluster.num_workers(); ++w) {
     DistributedNeighborSource source(cluster, w, &stats);
+    PerVertexNeighborSource unbatched(source);
+    NeighborSource& reads =
+        per_vertex ? static_cast<NeighborSource&>(unbatched) : source;
     TraverseSampler traverse(
         std::vector<VertexId>(cluster.server(w).owned_vertices()),
         /*seed=*/w + 1);
     auto seeds = traverse.Sample(64);
     if (seeds.empty()) continue;
-    hood.Sample(source, seeds, NeighborhoodSampler::kAllEdgeTypes, fans);
+    hood.Sample(reads, seeds, NeighborhoodSampler::kAllEdgeTypes, fans);
   }
 }
 
@@ -64,12 +72,20 @@ int main() {
   CommModel model;
   for (double tau : {0.45, 0.2, 0.05}) {
     const double rate = cluster.InstallImportanceCache(2, {tau, tau});
+    // Snapshot deltas separate the batched pass from the per-vertex one on
+    // the same shared counters.
     CommStats stats;
-    RunSamplingWorkload(cluster, stats);
+    CommStats::Snapshot mark = stats.snapshot();
+    RunSamplingWorkload(cluster, stats, /*per_vertex=*/false);
+    const CommStats::Snapshot batched = stats.snapshot().Delta(mark);
+    mark = stats.snapshot();
+    RunSamplingWorkload(cluster, stats, /*per_vertex=*/true);
+    const CommStats::Snapshot unbatched = stats.snapshot().Delta(mark);
     std::printf("  tau=%.2f: cached %5.1f%% of vertices, %s, modeled "
-                "comm %.2f ms\n",
-                tau, rate * 100, stats.ToString().c_str(),
-                model.ModeledMillis(stats));
+                "comm %.2f ms batched vs %.2f ms per-vertex\n",
+                tau, rate * 100, batched.ToString().c_str(),
+                model.ModeledMillis(batched),
+                model.ModeledMillis(unbatched));
   }
   return 0;
 }

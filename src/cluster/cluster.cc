@@ -1,7 +1,10 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <sstream>
+#include <thread>
 #include <unordered_map>
 
 #include "common/timer.h"
@@ -118,6 +121,114 @@ std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
   const auto all = servers_[owner]->Neighbors(v);
   if (cache != nullptr) cache->OnRemoteFetch(v, all);
   return servers_[owner]->Neighbors(v, type);
+}
+
+BucketExecutor& Cluster::executor() {
+  std::lock_guard<std::mutex> lock(*executor_mu_);
+  if (executor_ == nullptr) {
+    // One bucket lane per destination server (capped): requests to the same
+    // server serialize through its lane, different servers run in parallel.
+    const size_t buckets = std::min<size_t>(num_workers(), 8);
+    executor_ = std::make_unique<BucketExecutor>(buckets);
+  }
+  return *executor_;
+}
+
+void Cluster::GetNeighborsBatch(WorkerId from,
+                                std::span<const VertexId> batch,
+                                EdgeType type, BatchResult* out,
+                                CommStats* stats) {
+  const bool all_types = type == kAllEdgeTypes;
+  out->Reset(batch.size());
+  NeighborCache* cache = servers_[from]->neighbor_cache();
+
+  // Partition the batch: owned and cache-hit slots resolve immediately;
+  // the remote residue is deduplicated and grouped by destination worker.
+  uint64_t local_count = 0;
+  uint64_t hit_count = 0;
+  // unique remote vertex -> slots in `batch` that asked for it
+  std::unordered_map<VertexId, std::vector<uint32_t>> remote_slots;
+  std::vector<std::vector<VertexId>> per_worker(servers_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const VertexId v = batch[i];
+    const WorkerId owner = plan_.OwnerOf(v);
+    if (owner == from) {
+      out->spans[i] = all_types ? servers_[owner]->Neighbors(v)
+                                : servers_[owner]->Neighbors(v, type);
+      ++local_count;
+      continue;
+    }
+    if (cache != nullptr) {
+      auto hit = cache->Lookup(v);
+      if (hit.has_value()) {
+        // The pinned copy holds all types; the typed view is served from
+        // the owner's layout (same bytes) while charging a cache hit.
+        out->spans[i] = all_types ? *hit : servers_[owner]->Neighbors(v, type);
+        ++hit_count;
+        continue;
+      }
+    }
+    auto [it, inserted] = remote_slots.try_emplace(v);
+    if (inserted) per_worker[owner].push_back(v);
+    it->second.push_back(static_cast<uint32_t>(i));
+  }
+
+  // Coalesce: ONE request per destination worker carrying all its unique
+  // vertices, drained through the request buckets. Each request op only
+  // reads the (immutable after Finalize) server storage and writes its own
+  // response vector, so requests to different servers are data-race free.
+  struct WorkerRequest {
+    WorkerId worker = 0;
+    const std::vector<VertexId>* vertices = nullptr;
+    std::vector<std::span<const Neighbor>> response;
+  };
+  std::vector<WorkerRequest> requests;
+  for (WorkerId w = 0; w < per_worker.size(); ++w) {
+    if (per_worker[w].empty()) continue;
+    requests.push_back({w, &per_worker[w], {}});
+  }
+
+  std::atomic<size_t> pending{requests.size()};
+  if (!requests.empty()) {
+    BucketExecutor& exec = executor();
+    for (WorkerRequest& req : requests) {
+      req.response.resize(req.vertices->size());
+      auto op = [this, &req, &pending] {
+        const GraphServer& srv = *servers_[req.worker];
+        for (size_t j = 0; j < req.vertices->size(); ++j) {
+          req.response[j] = srv.Neighbors((*req.vertices)[j]);
+        }
+        pending.fetch_sub(1, std::memory_order_release);
+      };
+      // Vertex group == destination server id: reads against one server
+      // stay sequential in its lane while other servers proceed.
+      if (!exec.Submit(req.worker, op)) op();  // budget exhausted: run inline
+    }
+    SpinBackoff backoff;
+    while (pending.load(std::memory_order_acquire) > 0) backoff.Pause();
+  }
+
+  // Scatter responses to every slot that asked, and admit fetched data into
+  // the reactive cache on the calling thread (caches are not thread-safe).
+  for (const WorkerRequest& req : requests) {
+    for (size_t j = 0; j < req.vertices->size(); ++j) {
+      const VertexId v = (*req.vertices)[j];
+      const std::span<const Neighbor> full = req.response[j];
+      if (cache != nullptr) cache->OnRemoteFetch(v, full);
+      const std::span<const Neighbor> view =
+          all_types ? full : servers_[req.worker]->Neighbors(v, type);
+      for (const uint32_t slot : remote_slots[v]) out->spans[slot] = view;
+    }
+  }
+
+  if (stats != nullptr) {
+    const uint64_t unique_remote = remote_slots.size();
+    stats->local_reads.fetch_add(local_count);
+    stats->cache_hits.fetch_add(hit_count);
+    stats->remote_reads.fetch_add(unique_remote);
+    stats->batched_remote_reads.fetch_add(unique_remote);
+    stats->remote_batches.fetch_add(requests.size());
+  }
 }
 
 double Cluster::InstallImportanceCache(int depth,

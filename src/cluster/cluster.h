@@ -14,11 +14,14 @@
 #define ALIGRAPH_CLUSTER_CLUSTER_H_
 
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "cluster/comm_model.h"
 #include "cluster/graph_server.h"
+#include "cluster/request_bucket.h"
 #include "common/status.h"
 #include "graph/graph.h"
 #include "partition/partitioner.h"
@@ -66,6 +69,20 @@ class Cluster {
   std::span<const Neighbor> GetNeighbors(WorkerId from, VertexId v,
                                          EdgeType type, CommStats* stats);
 
+  /// Batched neighbor read issued by worker `from`: out->spans[i] is the
+  /// adjacency of batch[i] (all types when `type` == kAllEdgeTypes). The
+  /// batch is split into owned / cache-hit / remote partitions; the remote
+  /// residue is deduplicated and coalesced into ONE request per destination
+  /// worker, drained through the lock-free request buckets (one vertex
+  /// group per destination server, so same-group reads stay sequential).
+  /// Accounting: owned and cached slots count per occurrence; each unique
+  /// remote vertex counts one remote_read + one batched_remote_read
+  /// (duplicates ride the same response payload for free), and each
+  /// contacted worker counts one remote_batch — at most num_workers - 1
+  /// per call. Returns the same bytes as per-vertex GetNeighbors.
+  void GetNeighborsBatch(WorkerId from, std::span<const VertexId> batch,
+                         EdgeType type, BatchResult* out, CommStats* stats);
+
   /// Installs the paper's importance-based cache on every worker: vertices
   /// with Imp_k >= taus[k-1] for any k <= depth get their out-neighbors
   /// replicated to all workers. Returns the fraction of vertices cached.
@@ -86,9 +103,15 @@ class Cluster {
  private:
   Cluster() = default;
 
+  /// Lazily constructed request-bucket executor shared by batched reads
+  /// (consumer threads are only spawned once a batched call happens).
+  BucketExecutor& executor();
+
   const AttributedGraph* graph_ = nullptr;
   PartitionPlan plan_;
   std::vector<std::unique_ptr<GraphServer>> servers_;
+  std::unique_ptr<std::mutex> executor_mu_ = std::make_unique<std::mutex>();
+  std::unique_ptr<BucketExecutor> executor_;
 };
 
 /// Serial comparator for Fig. 7: builds one global adjacency map taking a

@@ -4,11 +4,14 @@
 
 namespace aligraph {
 
-std::string CommStats::ToString() const {
+std::string CommStats::Snapshot::ToString() const {
   std::ostringstream os;
-  os << "local=" << local_reads.load() << " cache=" << cache_hits.load()
-     << " remote=" << remote_reads.load();
+  os << "local=" << local_reads << " cache=" << cache_hits
+     << " remote=" << remote_reads << " remote_batches=" << remote_batches
+     << " batched_remote=" << batched_remote_reads;
   return os.str();
 }
+
+std::string CommStats::ToString() const { return snapshot().ToString(); }
 
 }  // namespace aligraph

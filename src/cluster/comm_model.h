@@ -9,6 +9,11 @@
 /// time. The relative comparisons the paper makes (cached vs. uncached,
 /// importance vs. random vs. LRU caching) depend only on the *counts*,
 /// which the simulation reproduces exactly.
+///
+/// The model distinguishes per-message cost from per-item payload cost:
+/// a batched read that moves 1000 vertices in one request pays one RPC
+/// latency plus 1000 item costs, while 1000 individual reads pay 1000 RPC
+/// latencies. This is what makes coalescing visible in modeled time.
 
 #ifndef ALIGRAPH_CLUSTER_COMM_MODEL_H_
 #define ALIGRAPH_CLUSTER_COMM_MODEL_H_
@@ -24,11 +29,57 @@ struct CommStats {
   std::atomic<uint64_t> local_reads{0};    ///< served from the owning server
   std::atomic<uint64_t> cache_hits{0};     ///< served from a local cache copy
   std::atomic<uint64_t> remote_reads{0};   ///< required a cross-server fetch
+  /// Coalesced cross-server requests: one per (call, destination worker).
+  std::atomic<uint64_t> remote_batches{0};
+  /// Remote reads that traveled inside a coalesced batch (subset of
+  /// remote_reads); remote_reads - batched_remote_reads were individual RPCs.
+  std::atomic<uint64_t> batched_remote_reads{0};
+
+  /// \brief Plain (copyable) snapshot of the counters, for benches and
+  /// before/after deltas. CommStats itself is non-copyable (atomics).
+  struct Snapshot {
+    uint64_t local_reads = 0;
+    uint64_t cache_hits = 0;
+    uint64_t remote_reads = 0;
+    uint64_t remote_batches = 0;
+    uint64_t batched_remote_reads = 0;
+
+    /// Counter-wise difference `*this - earlier` (counts accumulated since
+    /// `earlier` was taken).
+    Snapshot Delta(const Snapshot& earlier) const {
+      Snapshot d;
+      d.local_reads = local_reads - earlier.local_reads;
+      d.cache_hits = cache_hits - earlier.cache_hits;
+      d.remote_reads = remote_reads - earlier.remote_reads;
+      d.remote_batches = remote_batches - earlier.remote_batches;
+      d.batched_remote_reads =
+          batched_remote_reads - earlier.batched_remote_reads;
+      return d;
+    }
+
+    uint64_t TotalReads() const {
+      return local_reads + cache_hits + remote_reads;
+    }
+
+    std::string ToString() const;
+  };
+
+  Snapshot snapshot() const {
+    Snapshot s;
+    s.local_reads = local_reads.load();
+    s.cache_hits = cache_hits.load();
+    s.remote_reads = remote_reads.load();
+    s.remote_batches = remote_batches.load();
+    s.batched_remote_reads = batched_remote_reads.load();
+    return s;
+  }
 
   void Reset() {
     local_reads = 0;
     cache_hits = 0;
     remote_reads = 0;
+    remote_batches = 0;
+    batched_remote_reads = 0;
   }
 
   uint64_t TotalReads() const {
@@ -39,19 +90,40 @@ struct CommStats {
 };
 
 /// \brief Latency model for charged communication.
+///
+/// Remote cost splits into a per-message latency (one per RPC: an
+/// individual read is one message, a coalesced batch to one worker is one
+/// message) and a per-item payload cost (one per vertex moved). Batching
+/// therefore amortizes remote_rpc_us over the batch while per-item cost is
+/// unchanged — 1000 reads in 1 message model as 1*rpc + 1000*item instead
+/// of 1000*(rpc + item).
 struct CommModel {
-  /// Modeled cost of one remote neighbor/attribute fetch, microseconds.
-  /// Default approximates an intra-datacenter RPC.
-  double remote_latency_us = 50.0;
+  /// Modeled per-message cost of one cross-server request, microseconds.
+  /// Default approximates an intra-datacenter RPC round trip.
+  double remote_rpc_us = 50.0;
+  /// Modeled per-item payload cost of one vertex's adjacency in a remote
+  /// response, microseconds (serialization + wire + deserialization).
+  double remote_item_us = 0.5;
   /// Modeled cost of a local cache/owned read, microseconds.
   double local_latency_us = 0.1;
 
   /// Total modeled time for the recorded accesses, milliseconds.
+  double ModeledMillis(const CommStats::Snapshot& s) const {
+    const double local =
+        static_cast<double>(s.local_reads + s.cache_hits);
+    // Individually-issued remote reads are one message each; coalesced
+    // reads share their batch's message.
+    const uint64_t individual = s.remote_reads - s.batched_remote_reads;
+    const double messages =
+        static_cast<double>(individual + s.remote_batches);
+    const double items = static_cast<double>(s.remote_reads);
+    return (local * local_latency_us + messages * remote_rpc_us +
+            items * remote_item_us) *
+           1e-3;
+  }
+
   double ModeledMillis(const CommStats& stats) const {
-    const double local = static_cast<double>(stats.local_reads.load() +
-                                             stats.cache_hits.load());
-    const double remote = static_cast<double>(stats.remote_reads.load());
-    return (local * local_latency_us + remote * remote_latency_us) * 1e-3;
+    return ModeledMillis(stats.snapshot());
   }
 };
 

@@ -1,10 +1,27 @@
 #include "cluster/request_bucket.h"
 
+#include <chrono>
 #include <memory>
 
 namespace aligraph {
 
-BucketExecutor::BucketExecutor(size_t num_buckets, size_t ring_capacity) {
+void SpinBackoff::Pause() {
+  ++rounds_;
+  if (rounds_ <= kYieldRounds) {
+    std::this_thread::yield();
+    return;
+  }
+  // Escalate: 1, 2, 4, ... microseconds, capped so a long stall still polls
+  // a few thousand times per second.
+  const uint32_t exp = rounds_ - kYieldRounds;
+  const uint32_t us = exp >= 8 ? kMaxSleepUs
+                               : std::min<uint32_t>(kMaxSleepUs, 1u << exp);
+  std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+BucketExecutor::BucketExecutor(size_t num_buckets, size_t ring_capacity,
+                               uint32_t submit_spin_limit)
+    : submit_spin_limit_(submit_spin_limit) {
   ALIGRAPH_CHECK_GT(num_buckets, 0u);
   buckets_.reserve(num_buckets);
   for (size_t i = 0; i < num_buckets; ++i) {
@@ -21,33 +38,45 @@ BucketExecutor::~BucketExecutor() {
   for (auto& b : buckets_) b->consumer.join();
 }
 
-void BucketExecutor::Submit(uint64_t group, Op op) {
+bool BucketExecutor::Submit(uint64_t group, Op op) {
   Bucket& bucket = *buckets_[group % buckets_.size()];
   submitted_.fetch_add(1, std::memory_order_relaxed);
   // Pass a copy per attempt: a failed TryPush leaves its argument
   // moved-from, so retrying with the original would drop the op.
+  SpinBackoff backoff;
   while (!bucket.ring.TryPush(op)) {
-    std::this_thread::yield();  // backpressure: ring full
+    if (backoff.rounds() >= submit_spin_limit_) {
+      // Ring stayed full through the whole backoff budget: hand the op back
+      // instead of spinning forever.
+      submitted_.fetch_sub(1, std::memory_order_relaxed);
+      dropped_after_spin_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    backoff.Pause();
   }
+  return true;
 }
 
 void BucketExecutor::Drain() {
+  SpinBackoff backoff;
   while (completed_.load(std::memory_order_acquire) <
          submitted_.load(std::memory_order_acquire)) {
-    std::this_thread::yield();
+    backoff.Pause();
   }
 }
 
 void BucketExecutor::ConsumerLoop(Bucket* bucket) {
   Op op;
+  SpinBackoff backoff;
   while (true) {
     if (bucket->ring.TryPop(&op)) {
       op();
       completed_.fetch_add(1, std::memory_order_release);
+      backoff.Reset();
     } else if (stop_.load(std::memory_order_acquire)) {
       return;
     } else {
-      std::this_thread::yield();
+      backoff.Pause();
     }
   }
 }

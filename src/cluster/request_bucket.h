@@ -87,6 +87,21 @@ class MpscRing {
   size_t head_ = 0;  // single consumer: plain field
 };
 
+/// \brief Exponential backoff for spin loops: yields for the first few
+/// rounds, then sleeps for geometrically growing (capped) intervals so a
+/// stalled waiter stops burning its core.
+class SpinBackoff {
+ public:
+  void Pause();
+  void Reset() { rounds_ = 0; }
+  uint32_t rounds() const { return rounds_; }
+
+ private:
+  static constexpr uint32_t kYieldRounds = 32;
+  static constexpr uint32_t kMaxSleepUs = 256;
+  uint32_t rounds_ = 0;
+};
+
 /// \brief A set of request buckets, each drained by its own thread.
 ///
 /// Operations are closures routed by vertex group: group g always lands in
@@ -96,19 +111,30 @@ class BucketExecutor {
  public:
   using Op = std::function<void()>;
 
-  explicit BucketExecutor(size_t num_buckets, size_t ring_capacity = 4096);
+  /// \param submit_spin_limit backoff rounds Submit attempts on a full ring
+  ///        before giving up and reporting the op as dropped.
+  explicit BucketExecutor(size_t num_buckets, size_t ring_capacity = 4096,
+                          uint32_t submit_spin_limit = 1u << 16);
   ~BucketExecutor();
 
   BucketExecutor(const BucketExecutor&) = delete;
   BucketExecutor& operator=(const BucketExecutor&) = delete;
 
-  /// Enqueues an operation for a vertex group; spins under backpressure.
-  void Submit(uint64_t group, Op op);
+  /// Enqueues an operation for a vertex group, backing off exponentially
+  /// while the ring is full. Returns false when the spin budget is
+  /// exhausted: the op was NOT enqueued (counted in dropped_after_spin())
+  /// and the caller must run or retry it itself.
+  [[nodiscard]] bool Submit(uint64_t group, Op op);
 
   /// Blocks until every submitted operation has executed.
   void Drain();
 
   size_t num_buckets() const { return buckets_.size(); }
+
+  /// Ops rejected by Submit after exhausting the backoff budget.
+  uint64_t dropped_after_spin() const {
+    return dropped_after_spin_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct Bucket {
@@ -120,8 +146,10 @@ class BucketExecutor {
   void ConsumerLoop(Bucket* bucket);
 
   std::vector<std::unique_ptr<Bucket>> buckets_;
+  const uint32_t submit_spin_limit_;
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> dropped_after_spin_{0};
   std::atomic<bool> stop_{false};
 };
 

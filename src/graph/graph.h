@@ -30,6 +30,19 @@ struct Neighbor {
   AttrId attr;
 };
 
+/// \brief Result of a batched neighbor read: spans[i] views the adjacency
+/// of the i-th requested vertex. Spans point into storage owned by the
+/// graph / graph server (or its cache) and stay valid as long as that
+/// storage does; the container is reusable across calls to amortize
+/// allocation.
+struct BatchResult {
+  std::vector<std::span<const Neighbor>> spans;
+
+  void Reset(size_t n) { spans.assign(n, {}); }
+  size_t size() const { return spans.size(); }
+  std::span<const Neighbor> operator[](size_t i) const { return spans[i]; }
+};
+
 /// \brief Compressed sparse row adjacency over a fixed vertex count.
 class Csr {
  public:

@@ -33,6 +33,10 @@ inline constexpr VertexId kInvalidVertex =
     std::numeric_limits<VertexId>::max();
 inline constexpr AttrId kNoAttr = std::numeric_limits<AttrId>::max();
 
+/// Sentinel edge type meaning "all edge types" in neighbor-access APIs
+/// (NeighborSource::NeighborsBatch, Cluster::GetNeighborsBatch, samplers).
+inline constexpr EdgeType kAllEdgeTypes = std::numeric_limits<EdgeType>::max();
+
 /// \brief One raw edge as fed to the graph builder.
 struct RawEdge {
   VertexId src = 0;

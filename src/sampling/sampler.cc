@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/threadpool.h"
 
 namespace aligraph {
 
@@ -22,28 +23,40 @@ std::vector<std::pair<VertexId, Neighbor>> TraverseSampler::SampleEdges(
   std::vector<std::pair<VertexId, Neighbor>> batch;
   if (pool_.empty()) return batch;
   batch.reserve(batch_size);
+  // Draw a whole round of candidate seeds, fetch their typed adjacency in
+  // ONE batched read, then fill from the non-empty spans; seeds without
+  // such edges are re-drawn in the next round, a bounded number of times.
   const size_t max_tries = batch_size * 16 + 64;
   size_t tries = 0;
+  std::vector<VertexId> seeds;
+  BatchResult adj;
   while (batch.size() < batch_size && tries < max_tries) {
-    ++tries;
-    const VertexId v = pool_[rng_.Uniform(pool_.size())];
-    const auto nbs = source.Neighbors(v, type);
-    if (nbs.empty()) continue;
-    batch.emplace_back(v, nbs[rng_.Uniform(nbs.size())]);
+    const size_t want =
+        std::min(batch_size - batch.size(), max_tries - tries);
+    seeds.resize(want);
+    for (VertexId& s : seeds) s = pool_[rng_.Uniform(pool_.size())];
+    tries += want;
+    source.NeighborsBatch(seeds, type, &adj);
+    for (size_t i = 0; i < seeds.size() && batch.size() < batch_size; ++i) {
+      const auto nbs = adj.spans[i];
+      if (nbs.empty()) continue;
+      batch.emplace_back(seeds[i], nbs[rng_.Uniform(nbs.size())]);
+    }
   }
   return batch;
 }
 
 VertexId NeighborhoodSampler::SampleOne(std::span<const Neighbor> nbs,
-                                        VertexId fallback, size_t rank) {
+                                        VertexId fallback, size_t rank,
+                                        Rng& rng) {
   if (nbs.empty()) return fallback;
   switch (strategy_) {
     case NeighborStrategy::kUniform:
-      return nbs[rng_.Uniform(nbs.size())].dst;
+      return nbs[rng.Uniform(nbs.size())].dst;
     case NeighborStrategy::kWeighted: {
       double total = 0;
       for (const Neighbor& nb : nbs) total += nb.weight;
-      double r = rng_.NextDouble() * total;
+      double r = rng.NextDouble() * total;
       for (const Neighbor& nb : nbs) {
         r -= nb.weight;
         if (r <= 0) return nb.dst;
@@ -68,21 +81,34 @@ VertexId NeighborhoodSampler::SampleOne(std::span<const Neighbor> nbs,
 
 NeighborhoodSample NeighborhoodSampler::Sample(
     NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
-    std::span<const uint32_t> hop_nums) {
+    std::span<const uint32_t> hop_nums, ThreadPool* pool) {
   NeighborhoodSample sample;
   sample.roots.assign(roots.begin(), roots.end());
-  const bool all_types = type == kAllEdgeTypes;
 
   std::span<const VertexId> frontier(sample.roots);
+  BatchResult adj;
   for (uint32_t fan : hop_nums) {
-    std::vector<VertexId> next;
-    next.reserve(frontier.size() * fan);
-    for (VertexId v : frontier) {
-      const auto nbs = all_types ? source.Neighbors(v)
-                                 : source.Neighbors(v, type);
-      for (uint32_t j = 0; j < fan; ++j) {
-        next.push_back(SampleOne(nbs, /*fallback=*/v, j));
+    // One coalesced read for the whole frontier: the source sees the full
+    // hop and can turn its remote residue into one request per worker.
+    source.NeighborsBatch(frontier, type, &adj);
+    std::vector<VertexId> next(frontier.size() * fan);
+    if (pool == nullptr) {
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        for (uint32_t j = 0; j < fan; ++j) {
+          next[i * fan + j] = SampleOne(adj.spans[i], frontier[i], j, rng_);
+        }
       }
+    } else {
+      // Parallel draw over the fetched spans: each root gets its own RNG
+      // stream derived from one draw of the sampler RNG, so results are
+      // deterministic for a fixed seed and roots write disjoint ranges.
+      const uint64_t base = rng_.Next();
+      pool->ParallelFor(frontier.size(), [&](size_t i) {
+        Rng local(Mix64(base ^ (static_cast<uint64_t>(i) + 1)));
+        for (uint32_t j = 0; j < fan; ++j) {
+          next[i * fan + j] = SampleOne(adj.spans[i], frontier[i], j, local);
+        }
+      });
     }
     sample.hops.push_back(std::move(next));
     frontier = std::span<const VertexId>(sample.hops.back());

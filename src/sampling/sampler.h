@@ -23,7 +23,15 @@
 
 namespace aligraph {
 
+class ThreadPool;
+
 /// \brief Adjacency access abstraction shared by all samplers.
+///
+/// Besides per-vertex reads, sources expose a batched read so callers that
+/// know a whole frontier up front (hop expansion, edge sampling) can let
+/// the source coalesce data movement. The base implementation falls back to
+/// one per-vertex read per slot; distributed sources override it with one
+/// coalesced request per destination worker.
 class NeighborSource {
  public:
   virtual ~NeighborSource() = default;
@@ -31,6 +39,17 @@ class NeighborSource {
   virtual std::span<const Neighbor> Neighbors(VertexId v) = 0;
   /// Out-neighbors of v restricted to one edge type.
   virtual std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) = 0;
+
+  /// Batched read: out->spans[i] = adjacency of vertices[i], restricted to
+  /// `type` unless it is kAllEdgeTypes. Default: per-vertex fallback.
+  virtual void NeighborsBatch(std::span<const VertexId> vertices,
+                              EdgeType type, BatchResult* out) {
+    out->Reset(vertices.size());
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      out->spans[i] = type == kAllEdgeTypes ? Neighbors(vertices[i])
+                                            : Neighbors(vertices[i], type);
+    }
+  }
 };
 
 /// \brief Reads a local AttributedGraph directly.
@@ -43,13 +62,25 @@ class LocalNeighborSource : public NeighborSource {
   std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) override {
     return graph_.OutNeighbors(v, type);
   }
+  // Native batch: straight-line loop over the graph, no virtual dispatch
+  // per vertex (local reads have no RPC to amortize).
+  void NeighborsBatch(std::span<const VertexId> vertices, EdgeType type,
+                      BatchResult* out) override {
+    out->Reset(vertices.size());
+    for (size_t i = 0; i < vertices.size(); ++i) {
+      out->spans[i] = type == kAllEdgeTypes
+                          ? graph_.OutNeighbors(vertices[i])
+                          : graph_.OutNeighbors(vertices[i], type);
+    }
+  }
 
  private:
   const AttributedGraph& graph_;
 };
 
 /// \brief Reads through the cluster from the perspective of one worker,
-/// recording local/cache/remote access counts.
+/// recording local/cache/remote access counts. Batched reads coalesce the
+/// remote residue into one request per destination worker.
 class DistributedNeighborSource : public NeighborSource {
  public:
   DistributedNeighborSource(Cluster& cluster, WorkerId worker,
@@ -61,11 +92,33 @@ class DistributedNeighborSource : public NeighborSource {
   std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) override {
     return cluster_.GetNeighbors(worker_, v, type, stats_);
   }
+  void NeighborsBatch(std::span<const VertexId> vertices, EdgeType type,
+                      BatchResult* out) override {
+    cluster_.GetNeighborsBatch(worker_, vertices, type, out, stats_);
+  }
 
  private:
   Cluster& cluster_;
   WorkerId worker_;
   CommStats* stats_;
+};
+
+/// \brief Ablation / comparison adapter: forwards per-vertex reads to an
+/// inner source but deliberately inherits the per-vertex NeighborsBatch
+/// fallback, so every read is charged as an individual RPC. Benches and
+/// tests use it to quantify what batching saves.
+class PerVertexNeighborSource : public NeighborSource {
+ public:
+  explicit PerVertexNeighborSource(NeighborSource& inner) : inner_(inner) {}
+  std::span<const Neighbor> Neighbors(VertexId v) override {
+    return inner_.Neighbors(v);
+  }
+  std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) override {
+    return inner_.Neighbors(v, type);
+  }
+
+ private:
+  NeighborSource& inner_;
 };
 
 /// \brief TRAVERSE: samples a batch of seed vertices (or edges) from the
@@ -117,17 +170,22 @@ class NeighborhoodSampler {
       : strategy_(strategy), rng_(seed) {}
 
   /// Samples the context of `roots` along edges of `type` (pass
-  /// kAllEdgeTypes for type-agnostic neighborhoods).
+  /// kAllEdgeTypes for type-agnostic neighborhoods). Each hop issues ONE
+  /// NeighborsBatch over the whole frontier instead of per-vertex reads.
+  /// When `pool` is non-null, alias/weighted sampling over the fetched
+  /// spans is parallelized across the pool with per-root RNG streams
+  /// derived from the sampler seed (deterministic for a fixed seed, but a
+  /// different — equally valid — draw than the pool-less sequential path).
   NeighborhoodSample Sample(NeighborSource& source,
                             std::span<const VertexId> roots, EdgeType type,
-                            std::span<const uint32_t> hop_nums);
+                            std::span<const uint32_t> hop_nums,
+                            ThreadPool* pool = nullptr);
 
-  static constexpr EdgeType kAllEdgeTypes =
-      std::numeric_limits<EdgeType>::max();
+  static constexpr EdgeType kAllEdgeTypes = aligraph::kAllEdgeTypes;
 
  private:
   VertexId SampleOne(std::span<const Neighbor> nbs, VertexId fallback,
-                     size_t rank);
+                     size_t rank, Rng& rng);
 
   NeighborStrategy strategy_;
   Rng rng_;
