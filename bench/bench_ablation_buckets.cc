@@ -70,7 +70,13 @@ double MutexQueueMillis(size_t consumers) {
   return ms;
 }
 
-double BucketExecutorMillis(size_t buckets) {
+struct BucketRun {
+  double ms = 0;
+  uint64_t dropped = 0;
+  uint64_t backoff_sleeps = 0;
+};
+
+BucketRun BucketExecutorMillis(size_t buckets) {
   // One counter per group; group -> bucket routing makes each counter
   // single-writer, so no locking is needed anywhere.
   std::vector<uint64_t> counters(kGroups, 0);
@@ -84,7 +90,11 @@ double BucketExecutorMillis(size_t buckets) {
     }
   }
   exec.Drain();
-  return t.ElapsedMillis();
+  BucketRun run;
+  run.ms = t.ElapsedMillis();
+  run.dropped = exec.dropped_after_spin();
+  run.backoff_sleeps = exec.submit_backoff_sleeps();
+  return run;
 }
 
 }  // namespace
@@ -92,19 +102,35 @@ double BucketExecutorMillis(size_t buckets) {
 
 int main(int argc, char** argv) {
   using namespace aligraph;
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  // Attach before any BucketExecutor exists so the bucket.* counters of
+  // every run accumulate into the report's registry.
+  bench::ObsBench obs("ablation_buckets", args);
+  obs.report().AddMeta("experiment", "bucket executor ablation");
   bench::Banner(
       "Ablation — lock-free request buckets vs mutex queue",
       "binding vertex groups to lock-free per-core buckets removes "
       "per-operation locking (Section 3.3)");
 
-  bench::Row({"consumers/buckets", "mutex queue (ms)", "lock-free (ms)",
-              "speedup"});
+  obs.Table("bucket_ablation",
+            {"consumers/buckets", "mutex queue (ms)", "lock-free (ms)",
+             "speedup", "drops", "backoff sleeps"});
   for (size_t n : {1u, 2u, 4u}) {
     const double mutex_ms = MutexQueueMillis(n);
-    const double bucket_ms = BucketExecutorMillis(n);
-    bench::Row({std::to_string(n), bench::Fmt("%.1f", mutex_ms),
-                bench::Fmt("%.1f", bucket_ms),
-                bench::Fmt("%.2fx", mutex_ms / bucket_ms)});
+    const BucketRun bucket = BucketExecutorMillis(n);
+    obs.TableRow({std::to_string(n), bench::Fmt("%.1f", mutex_ms),
+                  bench::Fmt("%.1f", bucket.ms),
+                  bench::Fmt("%.2fx", mutex_ms / bucket.ms),
+                  std::to_string(bucket.dropped),
+                  std::to_string(bucket.backoff_sleeps)});
+    const std::string key = "buckets_" + std::to_string(n);
+    obs.report().AddMetric(key + ".mutex_ms", mutex_ms);
+    obs.report().AddMetric(key + ".lockfree_ms", bucket.ms);
+    obs.report().AddMetric(key + ".dropped_after_spin",
+                           static_cast<double>(bucket.dropped));
+    obs.report().AddMetric(key + ".submit_backoff_sleeps",
+                           static_cast<double>(bucket.backoff_sleeps));
   }
+  obs.WriteReport();
   return 0;
 }

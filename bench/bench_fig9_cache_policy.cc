@@ -51,6 +51,9 @@ double RunWorkload(Cluster& cluster, const CommModel& model, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace aligraph;
   const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  // Attach before Cluster::Build so comm counters resolve here.
+  bench::ObsBench obs("fig9_cache_policy", args);
+  obs.report().AddMeta("experiment", "Figure 9 cache policy comparison");
   bench::Banner(
       "Figure 9 — access cost w.r.t. percentage of cached vertices",
       "importance cache saves ~40-50% vs random and ~50-60% vs LRU");
@@ -62,7 +65,9 @@ int main(int argc, char** argv) {
 
   std::printf("dataset: %s, 4 workers, 20k 2-hop queries\n\n",
               graph.ToString().c_str());
-  bench::Row({"cached (%)", "importance (ms)", "random (ms)", "LRU (ms)"});
+  obs.report().AddMeta("dataset", graph.ToString());
+  obs.Table("cache_policy",
+            {"cached (%)", "importance (ms)", "random (ms)", "LRU (ms)"});
   for (double fraction : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5}) {
     cluster.ClearCaches();
     double importance_ms, random_ms, lru_ms;
@@ -77,8 +82,13 @@ int main(int argc, char** argv) {
           static_cast<size_t>(fraction * graph.num_vertices()));
       lru_ms = RunWorkload(cluster, model, 99);
     }
-    bench::Row({bench::Pct(fraction), bench::Fmt("%.1f", importance_ms),
-                bench::Fmt("%.1f", random_ms), bench::Fmt("%.1f", lru_ms)});
+    obs.TableRow({bench::Pct(fraction), bench::Fmt("%.1f", importance_ms),
+                  bench::Fmt("%.1f", random_ms), bench::Fmt("%.1f", lru_ms)});
+    const std::string key = bench::Fmt("fraction_%.1f", fraction);
+    obs.report().AddMetric(key + ".importance_ms", importance_ms);
+    obs.report().AddMetric(key + ".random_ms", random_ms);
+    obs.report().AddMetric(key + ".lru_ms", lru_ms);
   }
+  obs.WriteReport();
   return 0;
 }

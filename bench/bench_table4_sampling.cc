@@ -110,27 +110,43 @@ SamplingTimes RunDataset(const AttributedGraph& graph, uint32_t workers,
 int main(int argc, char** argv) {
   using namespace aligraph;
   const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  // Attach the observability session before any Cluster is built so the
+  // comm counters resolve against this registry.
+  bench::ObsBench obs("table4_sampling", args);
+  obs.report().AddMeta("experiment", "Table 4 sampling latency");
   bench::Banner(
       "Table 4 — sampling latency (batch = 512, ~20% cache)",
       "TRAVERSE a few ms, NEIGHBORHOOD tens of ms, NEGATIVE a few ms; "
       "batched neighbor reads amortize the per-RPC latency the per-vertex "
       "path pays on every remote read");
 
-  bench::Row({"dataset", "workers", "TRAVERSE", "NBHD batched",
-              "NBHD per-vertex", "NEGATIVE"});
+  obs.Table("sampling_latency",
+            {"dataset", "workers", "TRAVERSE", "NBHD batched",
+             "NBHD per-vertex", "NEGATIVE"});
   {
     auto g = std::move(gen::Taobao(gen::TaobaoSmallConfig(args.scale))).value();
     const auto t = RunDataset(g, 4, args.seed);
-    bench::Row({"Taobao-small (syn)", "4", bench::Ms(t.traverse_ms),
-                bench::Ms(t.neighborhood_ms), bench::Ms(t.neighborhood_pv_ms),
-                bench::Ms(t.negative_ms)});
+    obs.TableRow({"Taobao-small (syn)", "4", bench::Ms(t.traverse_ms),
+                  bench::Ms(t.neighborhood_ms),
+                  bench::Ms(t.neighborhood_pv_ms), bench::Ms(t.negative_ms)});
+    obs.report().AddMetric("taobao_small.traverse_ms", t.traverse_ms);
+    obs.report().AddMetric("taobao_small.neighborhood_ms", t.neighborhood_ms);
+    obs.report().AddMetric("taobao_small.neighborhood_per_vertex_ms",
+                           t.neighborhood_pv_ms);
+    obs.report().AddMetric("taobao_small.negative_ms", t.negative_ms);
   }
   {
     auto g = std::move(gen::Taobao(gen::TaobaoLargeConfig(args.scale))).value();
     const auto t = RunDataset(g, 8, args.seed);
-    bench::Row({"Taobao-large (syn)", "8", bench::Ms(t.traverse_ms),
-                bench::Ms(t.neighborhood_ms), bench::Ms(t.neighborhood_pv_ms),
-                bench::Ms(t.negative_ms)});
+    obs.TableRow({"Taobao-large (syn)", "8", bench::Ms(t.traverse_ms),
+                  bench::Ms(t.neighborhood_ms),
+                  bench::Ms(t.neighborhood_pv_ms), bench::Ms(t.negative_ms)});
+    obs.report().AddMetric("taobao_large.traverse_ms", t.traverse_ms);
+    obs.report().AddMetric("taobao_large.neighborhood_ms", t.neighborhood_ms);
+    obs.report().AddMetric("taobao_large.neighborhood_per_vertex_ms",
+                           t.neighborhood_pv_ms);
+    obs.report().AddMetric("taobao_large.negative_ms", t.negative_ms);
   }
+  obs.WriteReport();
   return 0;
 }

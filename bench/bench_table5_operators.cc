@@ -108,25 +108,37 @@ OperatorCost RunDataset(const AttributedGraph& graph, uint64_t seed) {
 int main(int argc, char** argv) {
   using namespace aligraph;
   const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  // Attach before any HopEmbeddingCache exists so its hit/miss counters
+  // land in this registry, and so aggregate/combine spans are captured.
+  bench::ObsBench obs("table5_operators", args);
+  obs.report().AddMeta("experiment", "Table 5 operator cost");
   bench::Banner(
       "Table 5 — operator cost without vs. with the hop-embedding cache",
       "caching intermediate embedding vectors speeds AGGREGATE/COMBINE up "
       "by an order of magnitude (~13x)");
 
-  bench::Row({"dataset", "w/o cache (ms)", "with cache (ms)", "speedup"});
+  obs.Table("operator_cost",
+            {"dataset", "w/o cache (ms)", "with cache (ms)", "speedup"});
   {
     auto g = std::move(gen::Taobao(gen::TaobaoSmallConfig(args.scale))).value();
     const auto c = RunDataset(g, args.seed);
-    bench::Row({"Taobao-small (syn)", bench::Fmt("%.2f", c.naive_ms),
-                bench::Fmt("%.2f", c.cached_ms),
-                bench::Fmt("%.1fx", c.naive_ms / c.cached_ms)});
+    obs.TableRow({"Taobao-small (syn)", bench::Fmt("%.2f", c.naive_ms),
+                  bench::Fmt("%.2f", c.cached_ms),
+                  bench::Fmt("%.1fx", c.naive_ms / c.cached_ms)});
+    obs.report().AddMetric("taobao_small.naive_ms", c.naive_ms);
+    obs.report().AddMetric("taobao_small.cached_ms", c.cached_ms);
+    obs.report().AddMetric("taobao_small.speedup", c.naive_ms / c.cached_ms);
   }
   {
     auto g = std::move(gen::Taobao(gen::TaobaoLargeConfig(args.scale))).value();
     const auto c = RunDataset(g, args.seed);
-    bench::Row({"Taobao-large (syn)", bench::Fmt("%.2f", c.naive_ms),
-                bench::Fmt("%.2f", c.cached_ms),
-                bench::Fmt("%.1fx", c.naive_ms / c.cached_ms)});
+    obs.TableRow({"Taobao-large (syn)", bench::Fmt("%.2f", c.naive_ms),
+                  bench::Fmt("%.2f", c.cached_ms),
+                  bench::Fmt("%.1fx", c.naive_ms / c.cached_ms)});
+    obs.report().AddMetric("taobao_large.naive_ms", c.naive_ms);
+    obs.report().AddMetric("taobao_large.cached_ms", c.cached_ms);
+    obs.report().AddMetric("taobao_large.speedup", c.naive_ms / c.cached_ms);
   }
+  obs.WriteReport();
   return 0;
 }

@@ -1,7 +1,9 @@
 /// \file bench_util.h
 /// \brief Shared helpers for the experiment harnesses in bench/: table
-/// printing in the paper's layout and a --scale command-line knob so every
-/// experiment can grow toward paper scale on bigger machines.
+/// printing in the paper's layout, a --scale command-line knob so every
+/// experiment can grow toward paper scale on bigger machines, and an
+/// ObsBench session that attaches the observability subsystem and mirrors
+/// the printed tables into a machine-readable JSON run report.
 
 #ifndef ALIGRAPH_BENCH_BENCH_UTIL_H_
 #define ALIGRAPH_BENCH_BENCH_UTIL_H_
@@ -12,13 +14,19 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
 namespace aligraph {
 namespace bench {
 
-/// Parses --scale=<double> (default 1.0) and --seed=<uint64> from argv.
+/// Parses --scale=<double> (default 1.0), --seed=<uint64> and
+/// --out=<dir> (run-report directory, default bench/out) from argv.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 1;
+  std::string out_dir = "bench/out";
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -27,6 +35,8 @@ struct BenchArgs {
         args.scale = std::atof(argv[i] + 8);
       } else if (std::strncmp(argv[i], "--seed=", 7) == 0) {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
+      } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
+        args.out_dir = argv[i] + 6;
       }
     }
     return args;
@@ -55,6 +65,69 @@ inline std::string Fmt(const char* fmt, double v) {
 
 inline std::string Pct(double v) { return Fmt("%.2f", v * 100.0); }
 inline std::string Ms(double v) { return Fmt("%.2f ms", v); }
+
+/// \brief Observability session for one bench run.
+///
+/// Owns a MetricsRegistry and a Tracer, attaches both as process defaults
+/// for its lifetime, and mirrors the printed tables into a RunReport that
+/// WriteReport() serializes to <out_dir>/<name>.json. Construct BEFORE any
+/// instrumented component (Cluster, BucketExecutor, HopEmbeddingCache):
+/// those resolve their counter handles from the default registry at
+/// construction time.
+class ObsBench {
+ public:
+  ObsBench(std::string name, const BenchArgs& args)
+      : report_(std::move(name)), out_dir_(args.out_dir) {
+    obs::SetDefault(&registry_);
+    obs::SetDefaultTracer(&tracer_);
+    report_.AddMeta("scale", args.scale);
+    report_.AddMeta("seed", static_cast<double>(args.seed));
+  }
+
+  ~ObsBench() {
+    if (obs::Default() == &registry_) obs::SetDefault(nullptr);
+    if (obs::DefaultTracer() == &tracer_) obs::SetDefaultTracer(nullptr);
+  }
+
+  ObsBench(const ObsBench&) = delete;
+  ObsBench& operator=(const ObsBench&) = delete;
+
+  obs::MetricsRegistry& registry() { return registry_; }
+  obs::Tracer& tracer() { return tracer_; }
+  obs::RunReport& report() { return report_; }
+
+  /// Starts a new report table and prints the header row.
+  void Table(const std::string& name, const std::vector<std::string>& cols) {
+    report_.AddTable(name, cols);
+    Row(cols);
+  }
+
+  /// Prints one row and records it into the current report table.
+  void TableRow(const std::vector<std::string>& cells) {
+    report_.AddRow(cells);
+    Row(cells);
+  }
+
+  /// Snapshots metrics + span aggregates into the report and writes
+  /// <out_dir>/<name>.json, printing the path (or the error) to stdout.
+  void WriteReport() {
+    report_.AttachMetrics(registry_.Snapshot());
+    report_.AttachSpans(tracer_.Aggregate());
+    std::string path;
+    const Status st = report_.WriteFile(out_dir_, &path);
+    if (st.ok()) {
+      std::printf("\nrun report: %s\n", path.c_str());
+    } else {
+      std::printf("\nrun report FAILED: %s\n", st.ToString().c_str());
+    }
+  }
+
+ private:
+  obs::MetricsRegistry registry_;
+  obs::Tracer tracer_;
+  obs::RunReport report_;
+  std::string out_dir_;
+};
 
 }  // namespace bench
 }  // namespace aligraph

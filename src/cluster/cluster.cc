@@ -8,6 +8,8 @@
 #include <unordered_map>
 
 #include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/importance.h"
 
 namespace aligraph {
@@ -78,6 +80,19 @@ Result<Cluster> Cluster::Build(const AttributedGraph& graph,
     report->serial_ms = partition_ms + distribute_ms + sum_worker_ms;
     report->partition_stats = ComputePartitionStats(graph, cluster.plan_);
   }
+
+  if (obs::MetricsRegistry* reg = obs::Default()) {
+    cluster.obs_.local_reads = reg->GetCounter("comm.local_reads");
+    cluster.obs_.cache_hits = reg->GetCounter("comm.cache_hits");
+    cluster.obs_.remote_reads = reg->GetCounter("comm.remote_reads");
+    cluster.obs_.remote_batches = reg->GetCounter("comm.remote_batches");
+    cluster.obs_.batched_remote_reads =
+        reg->GetCounter("comm.batched_remote_reads");
+    reg->GetGauge("cluster.workers")->Set(num_workers);
+    reg->GetGauge("cluster.vertices")->Set(static_cast<double>(n));
+    reg->GetGauge("cluster.edges")
+        ->Set(static_cast<double>(graph.num_edges()));
+  }
   return cluster;
 }
 
@@ -86,6 +101,7 @@ std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
   const WorkerId owner = plan_.OwnerOf(v);
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
+    if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
     return servers_[owner]->Neighbors(v);
   }
   NeighborCache* cache = servers_[from]->neighbor_cache();
@@ -93,10 +109,12 @@ std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
     auto hit = cache->Lookup(v);
     if (hit.has_value()) {
       if (stats != nullptr) stats->cache_hits.fetch_add(1);
+      if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
       return *hit;
     }
   }
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
   const auto nbs = servers_[owner]->Neighbors(v);
   if (cache != nullptr) cache->OnRemoteFetch(v, nbs);
   return nbs;
@@ -108,6 +126,7 @@ std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
   const WorkerId owner = plan_.OwnerOf(v);
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
+    if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
     return servers_[owner]->Neighbors(v, type);
   }
   NeighborCache* cache = servers_[from]->neighbor_cache();
@@ -115,9 +134,11 @@ std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
     // The pinned copy holds all types; serve the typed view from the owner's
     // layout (same bytes) while charging a cache hit.
     if (stats != nullptr) stats->cache_hits.fetch_add(1);
+    if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
     return servers_[owner]->Neighbors(v, type);
   }
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
   const auto all = servers_[owner]->Neighbors(v);
   if (cache != nullptr) cache->OnRemoteFetch(v, all);
   return servers_[owner]->Neighbors(v, type);
@@ -138,6 +159,7 @@ void Cluster::GetNeighborsBatch(WorkerId from,
                                 std::span<const VertexId> batch,
                                 EdgeType type, BatchResult* out,
                                 CommStats* stats) {
+  obs::ScopedSpan span("cluster/batch_read");
   const bool all_types = type == kAllEdgeTypes;
   out->Reset(batch.size());
   NeighborCache* cache = servers_[from]->neighbor_cache();
@@ -221,13 +243,20 @@ void Cluster::GetNeighborsBatch(WorkerId from,
     }
   }
 
+  const uint64_t unique_remote = remote_slots.size();
   if (stats != nullptr) {
-    const uint64_t unique_remote = remote_slots.size();
     stats->local_reads.fetch_add(local_count);
     stats->cache_hits.fetch_add(hit_count);
     stats->remote_reads.fetch_add(unique_remote);
     stats->batched_remote_reads.fetch_add(unique_remote);
     stats->remote_batches.fetch_add(requests.size());
+  }
+  if (obs_.local_reads != nullptr) {
+    obs_.local_reads->Add(local_count);
+    obs_.cache_hits->Add(hit_count);
+    obs_.remote_reads->Add(unique_remote);
+    obs_.batched_remote_reads->Add(unique_remote);
+    obs_.remote_batches->Add(requests.size());
   }
 }
 

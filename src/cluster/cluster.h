@@ -28,6 +28,10 @@
 
 namespace aligraph {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// \brief Timing breakdown of a distributed build (Figure 7).
 struct ClusterBuildReport {
   double partition_ms = 0;       ///< partitioning the vertex set
@@ -107,7 +111,22 @@ class Cluster {
   /// (consumer threads are only spawned once a batched call happens).
   BucketExecutor& executor();
 
+  /// Registry handles mirroring the CommStats fields, resolved at Build
+  /// time from the default metrics registry (all null when observability is
+  /// detached — attach the registry before building the cluster). Every
+  /// access path increments both its CommStats counter and, when attached,
+  /// the matching "comm.*" registry counter, so the registry view stays
+  /// consistent with any Snapshot::Delta over the same window.
+  struct CommCounters {
+    obs::Counter* local_reads = nullptr;
+    obs::Counter* cache_hits = nullptr;
+    obs::Counter* remote_reads = nullptr;
+    obs::Counter* remote_batches = nullptr;
+    obs::Counter* batched_remote_reads = nullptr;
+  };
+
   const AttributedGraph* graph_ = nullptr;
+  CommCounters obs_;
   PartitionPlan plan_;
   std::vector<std::unique_ptr<GraphServer>> servers_;
   std::unique_ptr<std::mutex> executor_mu_ = std::make_unique<std::mutex>();

@@ -2,7 +2,19 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+
 namespace aligraph {
+
+void CommStats::Snapshot::ExportTo(obs::MetricsRegistry& registry,
+                                   const std::string& prefix) const {
+  registry.GetCounter(prefix + ".local_reads")->Add(local_reads);
+  registry.GetCounter(prefix + ".cache_hits")->Add(cache_hits);
+  registry.GetCounter(prefix + ".remote_reads")->Add(remote_reads);
+  registry.GetCounter(prefix + ".remote_batches")->Add(remote_batches);
+  registry.GetCounter(prefix + ".batched_remote_reads")
+      ->Add(batched_remote_reads);
+}
 
 std::string CommStats::Snapshot::ToString() const {
   std::ostringstream os;

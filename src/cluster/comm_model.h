@@ -24,6 +24,10 @@
 
 namespace aligraph {
 
+namespace obs {
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Mutable access counters; thread-safe.
 struct CommStats {
   std::atomic<uint64_t> local_reads{0};    ///< served from the owning server
@@ -60,6 +64,12 @@ struct CommStats {
     uint64_t TotalReads() const {
       return local_reads + cache_hits + remote_reads;
     }
+
+    /// Adds every field into `registry` as a counter named
+    /// "<prefix>.<field>" (e.g. "table4.batched.remote_reads"). Use with a
+    /// Delta snapshot to export one phase's communication into a report.
+    void ExportTo(obs::MetricsRegistry& registry,
+                  const std::string& prefix) const;
 
     std::string ToString() const;
   };

@@ -3,13 +3,15 @@
 #include <chrono>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace aligraph {
 
-void SpinBackoff::Pause() {
+bool SpinBackoff::Pause() {
   ++rounds_;
   if (rounds_ <= kYieldRounds) {
     std::this_thread::yield();
-    return;
+    return false;
   }
   // Escalate: 1, 2, 4, ... microseconds, capped so a long stall still polls
   // a few thousand times per second.
@@ -17,11 +19,14 @@ void SpinBackoff::Pause() {
   const uint32_t us = exp >= 8 ? kMaxSleepUs
                                : std::min<uint32_t>(kMaxSleepUs, 1u << exp);
   std::this_thread::sleep_for(std::chrono::microseconds(us));
+  return true;
 }
 
 BucketExecutor::BucketExecutor(size_t num_buckets, size_t ring_capacity,
                                uint32_t submit_spin_limit)
-    : submit_spin_limit_(submit_spin_limit) {
+    : submit_spin_limit_(submit_spin_limit),
+      obs_dropped_(obs::DefaultCounter("bucket.dropped_after_spin")),
+      obs_sleeps_(obs::DefaultCounter("bucket.submit_backoff_sleeps")) {
   ALIGRAPH_CHECK_GT(num_buckets, 0u);
   buckets_.reserve(num_buckets);
   for (size_t i = 0; i < num_buckets; ++i) {
@@ -50,9 +55,13 @@ bool BucketExecutor::Submit(uint64_t group, Op op) {
       // instead of spinning forever.
       submitted_.fetch_sub(1, std::memory_order_relaxed);
       dropped_after_spin_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_dropped_ != nullptr) obs_dropped_->Add(1);
       return false;
     }
-    backoff.Pause();
+    if (backoff.Pause()) {
+      submit_backoff_sleeps_.fetch_add(1, std::memory_order_relaxed);
+      if (obs_sleeps_ != nullptr) obs_sleeps_->Add(1);
+    }
   }
   return true;
 }

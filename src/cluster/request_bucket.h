@@ -20,6 +20,10 @@
 
 namespace aligraph {
 
+namespace obs {
+class Counter;
+}  // namespace obs
+
 /// \brief Bounded multi-producer / single-consumer ring buffer.
 ///
 /// Producers claim slots with a fetch-add ticket and publish via a sequence
@@ -92,7 +96,9 @@ class MpscRing {
 /// stalled waiter stops burning its core.
 class SpinBackoff {
  public:
-  void Pause();
+  /// Returns true when this pause escalated past yielding into a sleep, so
+  /// callers can count how often backpressure actually stalled them.
+  bool Pause();
   void Reset() { rounds_ = 0; }
   uint32_t rounds() const { return rounds_; }
 
@@ -136,6 +142,12 @@ class BucketExecutor {
     return dropped_after_spin_.load(std::memory_order_relaxed);
   }
 
+  /// Submit-side backoff pauses that escalated into an actual sleep (the
+  /// ring stayed full past the yield rounds) — the backpressure signal.
+  uint64_t submit_backoff_sleeps() const {
+    return submit_backoff_sleeps_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Bucket {
     explicit Bucket(size_t cap) : ring(cap) {}
@@ -150,7 +162,12 @@ class BucketExecutor {
   std::atomic<uint64_t> submitted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> dropped_after_spin_{0};
+  std::atomic<uint64_t> submit_backoff_sleeps_{0};
   std::atomic<bool> stop_{false};
+  // Registry handles resolved at construction from the default metrics
+  // registry (null when observability is detached).
+  obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_sleeps_ = nullptr;
 };
 
 }  // namespace aligraph

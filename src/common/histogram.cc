@@ -36,7 +36,7 @@ double Summary::stddev() const {
   return std::sqrt(acc / static_cast<double>(values_.size() - 1));
 }
 
-double Summary::Percentile(double p) {
+double Summary::Percentile(double p) const {
   if (values_.empty()) return 0.0;
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());
@@ -49,7 +49,7 @@ double Summary::Percentile(double p) {
   return values_[lo] * (1 - frac) + values_[hi] * frac;
 }
 
-std::string Summary::ToString() {
+std::string Summary::ToString() const {
   std::ostringstream os;
   os << "count=" << count() << " mean=" << mean() << " p50=" << Percentile(50)
      << " p99=" << Percentile(99) << " max=" << max();

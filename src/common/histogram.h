@@ -17,7 +17,12 @@
 namespace aligraph {
 
 /// \brief Streaming summary of a sample: count / mean / min / max /
-/// percentiles (percentiles require Finalize(), which sorts).
+/// percentiles.
+///
+/// Percentile / ToString are const so report code can take a
+/// `const Summary&`: the lazy sort mutates only the `mutable` value buffer
+/// (same multiset of samples, reordered), which is unobservable through the
+/// public interface. Not thread-safe.
 class Summary {
  public:
   void Add(double v);
@@ -30,14 +35,14 @@ class Summary {
   double sum() const { return sum_; }
 
   /// Percentile in [0, 100]; sorts lazily.
-  double Percentile(double p);
+  double Percentile(double p) const;
 
-  std::string ToString();
+  std::string ToString() const;
 
  private:
-  std::vector<double> values_;
+  mutable std::vector<double> values_;
   double sum_ = 0;
-  bool sorted_ = false;
+  mutable bool sorted_ = false;
 };
 
 /// \brief Result of a discrete power-law fit Pr(X = q) ~ q^{-gamma}.

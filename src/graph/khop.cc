@@ -2,6 +2,7 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "obs/trace.h"
 
 namespace aligraph {
 namespace {
@@ -43,17 +44,20 @@ std::vector<double> Recurrence(const AttributedGraph& graph, int k, bool out,
 std::vector<double> KHopOutCounts(const AttributedGraph& graph, int k,
                                   ThreadPool* pool) {
   ALIGRAPH_CHECK_GE(k, 1);
+  obs::ScopedSpan span("khop/out_counts");
   return Recurrence(graph, k, /*out=*/true, pool);
 }
 
 std::vector<double> KHopInCounts(const AttributedGraph& graph, int k,
                                  ThreadPool* pool) {
   ALIGRAPH_CHECK_GE(k, 1);
+  obs::ScopedSpan span("khop/in_counts");
   return Recurrence(graph, k, /*out=*/false, pool);
 }
 
 std::vector<double> ImportanceScores(const AttributedGraph& graph, int k,
                                      ThreadPool* pool) {
+  obs::ScopedSpan span("khop/importance");
   const std::vector<double> din = KHopInCounts(graph, k, pool);
   const std::vector<double> dout = KHopOutCounts(graph, k, pool);
   std::vector<double> imp(din.size(), 0.0);

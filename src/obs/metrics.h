@@ -1,0 +1,183 @@
+/// \file metrics.h
+/// \brief Process-wide metrics registry: named counters, gauges and
+/// fixed-bucket histograms with per-thread sharding.
+///
+/// Every headline number of the paper's evaluation is a measurement, so the
+/// system layers export their counters through one substrate instead of
+/// ad-hoc per-class fields. Hot-path increments follow the same discipline
+/// as the lock-free request buckets: a counter is an array of cache-line
+/// padded atomic cells, each thread hashes to its own cell, and increments
+/// are relaxed fetch-adds — no shared cache line, no lock, no contention.
+/// Reads (Value / Snapshot) sum the cells; they are monotonic but not a
+/// consistent cut across metrics, which is all benches and reports need.
+///
+/// Attachment model: instrumented components look up their handles from the
+/// process-wide default registry (SetDefault) at construction time and keep
+/// raw pointers; when no registry is attached the handles are null and the
+/// instrumented paths reduce to one branch. Handles stay valid for the
+/// lifetime of the registry — metrics are never removed.
+
+#ifndef ALIGRAPH_OBS_METRICS_H_
+#define ALIGRAPH_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace aligraph {
+namespace obs {
+
+/// Number of per-thread shards per metric. Threads are assigned shards
+/// round-robin; with up to kNumShards concurrent writers every increment
+/// lands on a private cache line.
+inline constexpr size_t kNumShards = 16;
+
+/// Round-robin shard index of the calling thread (stable per thread).
+size_t ThreadShard();
+
+/// \brief Monotonic counter with per-thread sharded cells.
+class Counter {
+ public:
+  void Add(uint64_t n = 1) {
+    shards_[ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  /// Sum over all shards.
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& c : shards_) total += c.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+
+  std::string name_;
+  Cell shards_[kNumShards];
+};
+
+/// \brief Last-write-wins floating point gauge (no sharding: gauges are
+/// set from bookkeeping paths, not hot loops).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+
+  std::string name_;
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief Plain (copyable) histogram state for reports and tests.
+struct HistogramSnapshot {
+  std::vector<double> bounds;    ///< bucket upper bounds, ascending
+  std::vector<uint64_t> counts;  ///< bounds.size() + 1 buckets (last = overflow)
+  uint64_t count = 0;
+  double sum = 0;
+
+  double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+
+  /// Approximate percentile: the upper bound of the bucket containing the
+  /// rank (the last finite bound for the overflow bucket).
+  double Percentile(double p) const;
+};
+
+/// \brief Fixed-bucket histogram with per-thread sharded bucket counts.
+///
+/// Bucket i counts values <= bounds[i]; values above the last bound land in
+/// an overflow bucket. Record is lock-free: one binary search plus three
+/// relaxed atomic adds on the caller's shard.
+class Histogram {
+ public:
+  void Record(double v);
+
+  HistogramSnapshot Snapshot() const;
+  uint64_t Count() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(std::string name, std::span<const double> bounds);
+
+  struct alignas(64) Shard {
+    explicit Shard(size_t num_buckets) : buckets(num_buckets) {}
+    std::vector<std::atomic<uint64_t>> buckets;
+    std::atomic<uint64_t> count{0};
+    std::atomic<double> sum{0.0};
+  };
+
+  std::string name_;
+  std::vector<double> bounds_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+/// Exponential microsecond latency bounds: 1us .. 10s.
+std::span<const double> LatencyBoundsUs();
+
+/// Power-of-4 size bounds for frontier / fan-out / batch sizes: 1 .. ~1M.
+std::span<const double> SizeBounds();
+
+/// \brief Consistent-enough copy of a whole registry for report writing.
+struct MetricsSnapshot {
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSnapshot> histograms;
+};
+
+/// \brief Named metric registry. Get* creates on first use and returns a
+/// stable handle; lookups take a mutex (do them at setup time, not per
+/// increment), increments through the handles are lock-free.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* GetCounter(const std::string& name);
+  Gauge* GetGauge(const std::string& name);
+  /// `bounds` is used on first creation only (defaults to LatencyBoundsUs).
+  Histogram* GetHistogram(const std::string& name,
+                          std::span<const double> bounds = {});
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<Counter>> counters_;
+  std::unordered_map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Process-wide default registry (null = observability detached).
+void SetDefault(MetricsRegistry* registry);
+MetricsRegistry* Default();
+
+/// Handle from the default registry, or null when detached.
+Counter* DefaultCounter(const std::string& name);
+Gauge* DefaultGauge(const std::string& name);
+Histogram* DefaultHistogram(const std::string& name,
+                            std::span<const double> bounds = {});
+
+}  // namespace obs
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_OBS_METRICS_H_

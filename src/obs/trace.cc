@@ -1,0 +1,105 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace aligraph {
+namespace obs {
+
+namespace {
+
+std::atomic<Tracer*> g_tracer{nullptr};
+std::atomic<uint64_t> g_tracer_generation{0};
+
+thread_local uint32_t tl_depth = 0;
+// Cached (tracer generation, buffer) so a thread registers with a tracer
+// once; a stale cache from a destroyed tracer fails the generation check
+// and is never dereferenced.
+thread_local uint64_t tl_buffer_generation = 0;
+thread_local void* tl_buffer = nullptr;
+
+}  // namespace
+
+Tracer::Tracer(size_t ring_capacity)
+    : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
+      generation_(g_tracer_generation.fetch_add(1,
+                                                std::memory_order_relaxed) +
+                  1) {}
+
+Tracer::~Tracer() {
+  if (DefaultTracer() == this) SetDefaultTracer(nullptr);
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  if (tl_buffer_generation == generation_) {
+    return static_cast<ThreadBuffer*>(tl_buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.push_back(std::make_unique<ThreadBuffer>(ring_capacity_));
+  tl_buffer = buffers_.back().get();
+  tl_buffer_generation = generation_;
+  return buffers_.back().get();
+}
+
+void Tracer::Record(const char* name, uint32_t depth, int64_t duration_ns) {
+  ThreadBuffer* buf = BufferForThisThread();
+  const uint64_t h = buf->head.load(std::memory_order_relaxed);
+  SpanRecord& rec = buf->records[h % buf->records.size()];
+  rec.name = name;
+  rec.depth = depth;
+  rec.duration_ns = duration_ns;
+  buf->head.store(h + 1, std::memory_order_release);
+}
+
+std::map<std::string, SpanStats> Tracer::Aggregate() const {
+  std::map<std::string, SpanStats> agg;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    const uint64_t n = buf->head.load(std::memory_order_acquire);
+    const uint64_t cap = buf->records.size();
+    const uint64_t first = n > cap ? n - cap : 0;
+    for (uint64_t i = first; i < n; ++i) {
+      const SpanRecord& rec = buf->records[i % cap];
+      SpanStats& s = agg[rec.name];
+      const double us = static_cast<double>(rec.duration_ns) * 1e-3;
+      if (s.count == 0) {
+        s.min_us = us;
+        s.max_us = us;
+      } else {
+        s.min_us = std::min(s.min_us, us);
+        s.max_us = std::max(s.max_us, us);
+      }
+      ++s.count;
+      s.total_us += us;
+      s.depth = rec.depth;
+    }
+  }
+  return agg;
+}
+
+uint64_t Tracer::dropped_records() const {
+  uint64_t dropped = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    const uint64_t n = buf->head.load(std::memory_order_acquire);
+    const uint64_t cap = buf->records.size();
+    if (n > cap) dropped += n - cap;
+  }
+  return dropped;
+}
+
+void SetDefaultTracer(Tracer* tracer) {
+  g_tracer.store(tracer, std::memory_order_release);
+}
+
+Tracer* DefaultTracer() {
+  return g_tracer.load(std::memory_order_acquire);
+}
+
+uint32_t CurrentSpanDepth() { return tl_depth; }
+
+uint32_t ScopedSpan::EnterSpan() { return ++tl_depth; }
+
+void ScopedSpan::LeaveSpan() { --tl_depth; }
+
+}  // namespace obs
+}  // namespace aligraph

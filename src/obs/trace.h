@@ -1,0 +1,151 @@
+/// \file trace.h
+/// \brief Scoped tracing: RAII spans recorded into per-thread ring buffers
+/// and aggregated into per-stage wall-time breakdowns.
+///
+/// A ScopedSpan times one stage of a pipeline ("sample/hop0",
+/// "aggregate/fwd", ...). Spans nest: a thread-local depth counter tracks
+/// the nesting level so aggregation can tell stages from their sub-stages.
+/// Completed spans are appended to a per-thread ring buffer owned by the
+/// active Tracer — recording is wait-free for the owning thread (one index
+/// publish with release ordering, no locks) and costs two clock reads plus
+/// one ring write. When no tracer is attached a span is a single relaxed
+/// atomic load and nothing else, which is what lets instrumentation stay on
+/// in production code paths.
+///
+/// Aggregate() folds every thread's ring into a name -> {count, total,
+/// min, max} map. It is meant to be called at quiescent points (end of a
+/// bench phase / test); spans recorded concurrently with Aggregate may be
+/// partially missed but never corrupt the aggregate's memory. If a thread
+/// records more spans than the ring holds, the oldest records are
+/// overwritten and counted in dropped_records().
+
+#ifndef ALIGRAPH_OBS_TRACE_H_
+#define ALIGRAPH_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace aligraph {
+namespace obs {
+
+/// \brief Aggregated statistics of one span name.
+struct SpanStats {
+  uint64_t count = 0;
+  double total_us = 0;
+  double min_us = 0;
+  double max_us = 0;
+  uint32_t depth = 0;  ///< nesting level observed for this name (1 = root)
+
+  double mean_us() const {
+    return count == 0 ? 0.0 : total_us / static_cast<double>(count);
+  }
+};
+
+/// \brief Owner of the per-thread span rings. Attach with SetDefaultTracer;
+/// ScopedSpan picks the attached tracer up automatically.
+class Tracer {
+ public:
+  /// \param ring_capacity completed spans retained per thread (power of two
+  ///        not required).
+  explicit Tracer(size_t ring_capacity = 1 << 15);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Per-name wall-time breakdown over all threads' retained records.
+  std::map<std::string, SpanStats> Aggregate() const;
+
+  /// Records that fell out of a ring before aggregation (0 in well-sized
+  /// runs; reported so truncation is never silent).
+  uint64_t dropped_records() const;
+
+  /// Appends a completed span (called by ScopedSpan; public for tests).
+  /// `name` must outlive the tracer — pass string literals.
+  void Record(const char* name, uint32_t depth, int64_t duration_ns);
+
+ private:
+  struct SpanRecord {
+    const char* name = nullptr;
+    uint32_t depth = 0;
+    int64_t duration_ns = 0;
+  };
+
+  struct ThreadBuffer {
+    explicit ThreadBuffer(size_t capacity) : records(capacity) {}
+    std::vector<SpanRecord> records;
+    /// Monotonic count of records ever written; slot = head % capacity.
+    std::atomic<uint64_t> head{0};
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const size_t ring_capacity_;
+  const uint64_t generation_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// Process-wide default tracer (null = tracing detached).
+void SetDefaultTracer(Tracer* tracer);
+Tracer* DefaultTracer();
+
+/// Current span nesting depth of the calling thread (0 outside any span).
+uint32_t CurrentSpanDepth();
+
+/// \brief RAII span: starts timing on construction, records into the
+/// default tracer on destruction. No-op (one atomic load) when detached.
+///
+/// The optional `latency_us` histogram receives the same duration in
+/// microseconds, reusing the span's clock reads — cheaper than timing the
+/// scope twice when a stage wants both a span and a latency distribution.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name, Histogram* latency_us = nullptr)
+      : tracer_(DefaultTracer()), latency_us_(latency_us) {
+    if (tracer_ == nullptr && latency_us_ == nullptr) return;
+    name_ = name;
+    if (tracer_ != nullptr) depth_ = EnterSpan();
+    start_ = std::chrono::steady_clock::now();
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ == nullptr && latency_us_ == nullptr) return;
+    const auto end = std::chrono::steady_clock::now();
+    const int64_t duration_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+            .count();
+    if (latency_us_ != nullptr) {
+      latency_us_->Record(static_cast<double>(duration_ns) * 1e-3);
+    }
+    if (tracer_ == nullptr) return;
+    LeaveSpan();
+    tracer_->Record(name_, depth_, duration_ns);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  static uint32_t EnterSpan();  ///< ++depth, returns the new depth
+  static void LeaveSpan();      ///< --depth
+
+  Tracer* tracer_;
+  Histogram* latency_us_;
+  const char* name_ = nullptr;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_OBS_TRACE_H_

@@ -3,17 +3,25 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace aligraph {
 namespace ops {
+
+HopEmbeddingCache::HopEmbeddingCache(size_t dim)
+    : dim_(dim),
+      obs_hits_(obs::DefaultCounter("hop_cache.hits")),
+      obs_misses_(obs::DefaultCounter("hop_cache.misses")) {}
 
 std::span<const float> HopEmbeddingCache::Lookup(int hop, VertexId v) {
   auto it = index_.find(Key(hop, v));
   if (it == index_.end()) {
     ++misses_;
+    if (obs_misses_ != nullptr) obs_misses_->Add(1);
     return {};
   }
   ++hits_;
+  if (obs_hits_ != nullptr) obs_hits_->Add(1);
   return {storage_.data() + it->second, dim_};
 }
 

@@ -18,12 +18,22 @@
 #include "nn/matrix.h"
 
 namespace aligraph {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
 namespace ops {
 
 /// \brief Per-mini-batch store of hˆ(k)_v rows, keyed by (hop, vertex).
+///
+/// Lookups also feed the "hop_cache.hits" / "hop_cache.misses" counters of
+/// the default metrics registry when one is attached at construction, so
+/// reports can derive the Table 5 hit ratio without reaching into the
+/// class.
 class HopEmbeddingCache {
  public:
-  explicit HopEmbeddingCache(size_t dim) : dim_(dim) {}
+  explicit HopEmbeddingCache(size_t dim);
 
   /// Returns the cached row, or an empty span on miss.
   std::span<const float> Lookup(int hop, VertexId v);
@@ -52,6 +62,8 @@ class HopEmbeddingCache {
   std::vector<float> storage_;
   size_t hits_ = 0;
   size_t misses_ = 0;
+  obs::Counter* obs_hits_ = nullptr;
+  obs::Counter* obs_misses_ = nullptr;
 };
 
 }  // namespace ops

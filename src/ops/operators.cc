@@ -1,6 +1,7 @@
 #include "ops/operators.h"
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace aligraph {
 namespace ops {
@@ -8,6 +9,7 @@ namespace ops {
 using nn::Matrix;
 
 Matrix MeanAggregator::Forward(const Matrix& neighbors, size_t fan) {
+  obs::ScopedSpan span("aggregate/fwd");
   ALIGRAPH_CHECK_GT(fan, 0u);
   ALIGRAPH_CHECK_EQ(neighbors.rows() % fan, 0u);
   fan_ = fan;
@@ -25,6 +27,7 @@ Matrix MeanAggregator::Forward(const Matrix& neighbors, size_t fan) {
 }
 
 Matrix MeanAggregator::Backward(const Matrix& grad_out) {
+  obs::ScopedSpan span("aggregate/bwd");
   const size_t batch = grad_out.rows();
   Matrix grad(batch * fan_, grad_out.cols());
   const float inv = 1.0f / static_cast<float>(fan_);
@@ -38,6 +41,7 @@ Matrix MeanAggregator::Backward(const Matrix& grad_out) {
 }
 
 Matrix SumAggregator::Forward(const Matrix& neighbors, size_t fan) {
+  obs::ScopedSpan span("aggregate/fwd");
   ALIGRAPH_CHECK_GT(fan, 0u);
   ALIGRAPH_CHECK_EQ(neighbors.rows() % fan, 0u);
   fan_ = fan;
@@ -53,6 +57,7 @@ Matrix SumAggregator::Forward(const Matrix& neighbors, size_t fan) {
 }
 
 Matrix SumAggregator::Backward(const Matrix& grad_out) {
+  obs::ScopedSpan span("aggregate/bwd");
   const size_t batch = grad_out.rows();
   Matrix grad(batch * fan_, grad_out.cols());
   for (size_t b = 0; b < batch; ++b) {
@@ -65,6 +70,7 @@ Matrix SumAggregator::Backward(const Matrix& grad_out) {
 }
 
 Matrix MaxPoolAggregator::Forward(const Matrix& neighbors, size_t fan) {
+  obs::ScopedSpan span("aggregate/fwd");
   ALIGRAPH_CHECK_GT(fan, 0u);
   ALIGRAPH_CHECK_EQ(neighbors.rows() % fan, 0u);
   fan_ = fan;
@@ -89,6 +95,7 @@ Matrix MaxPoolAggregator::Forward(const Matrix& neighbors, size_t fan) {
 }
 
 Matrix MaxPoolAggregator::Backward(const Matrix& grad_out) {
+  obs::ScopedSpan span("aggregate/bwd");
   const size_t batch = grad_out.rows();
   const size_t d = grad_out.cols();
   Matrix grad(batch * fan_, d);
@@ -102,6 +109,7 @@ Matrix MaxPoolAggregator::Backward(const Matrix& grad_out) {
 }
 
 Matrix ConcatCombiner::Forward(const Matrix& self, const Matrix& aggregated) {
+  obs::ScopedSpan span("combine/fwd");
   Matrix y = linear_.Forward(nn::ConcatCols(self, aggregated));
   nn::ReluInPlace(y);
   last_output_ = y;
@@ -109,6 +117,7 @@ Matrix ConcatCombiner::Forward(const Matrix& self, const Matrix& aggregated) {
 }
 
 std::pair<Matrix, Matrix> ConcatCombiner::Backward(const Matrix& grad_out) {
+  obs::ScopedSpan span("combine/bwd");
   const Matrix relu_grad = nn::ReluBackward(last_output_, grad_out);
   const Matrix dconcat = linear_.Backward(relu_grad);
   Matrix dself(dconcat.rows(), in_dim_);
@@ -126,6 +135,7 @@ std::pair<Matrix, Matrix> ConcatCombiner::Backward(const Matrix& grad_out) {
 }
 
 Matrix AddCombiner::Forward(const Matrix& self, const Matrix& aggregated) {
+  obs::ScopedSpan span("combine/fwd");
   Matrix sum = self;
   sum += aggregated;
   Matrix y = linear_.Forward(sum);
@@ -135,6 +145,7 @@ Matrix AddCombiner::Forward(const Matrix& self, const Matrix& aggregated) {
 }
 
 std::pair<Matrix, Matrix> AddCombiner::Backward(const Matrix& grad_out) {
+  obs::ScopedSpan span("combine/bwd");
   const Matrix relu_grad = nn::ReluBackward(last_output_, grad_out);
   Matrix dsum = linear_.Backward(relu_grad);
   return {dsum, dsum};

@@ -5,10 +5,27 @@
 
 #include "common/logging.h"
 #include "common/threadpool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aligraph {
 
+namespace {
+
+/// Stable literal span names for hop stages ("sample/hop0", ...); hops past
+/// the table share the last name rather than allocating.
+const char* HopSpanName(size_t hop) {
+  static constexpr const char* kNames[] = {
+      "sample/hop0", "sample/hop1", "sample/hop2", "sample/hop3",
+      "sample/hop4", "sample/hop5", "sample/hop6", "sample/hop7+"};
+  constexpr size_t kLast = sizeof(kNames) / sizeof(kNames[0]) - 1;
+  return kNames[hop < kLast ? hop : kLast];
+}
+
+}  // namespace
+
 std::vector<VertexId> TraverseSampler::Sample(size_t batch_size) {
+  obs::ScopedSpan span("sample/traverse");
   std::vector<VertexId> batch;
   if (pool_.empty()) return batch;
   batch.reserve(batch_size);
@@ -20,6 +37,7 @@ std::vector<VertexId> TraverseSampler::Sample(size_t batch_size) {
 
 std::vector<std::pair<VertexId, Neighbor>> TraverseSampler::SampleEdges(
     NeighborSource& source, EdgeType type, size_t batch_size) {
+  obs::ScopedSpan span("sample/traverse_edges");
   std::vector<std::pair<VertexId, Neighbor>> batch;
   if (pool_.empty()) return batch;
   batch.reserve(batch_size);
@@ -79,15 +97,43 @@ VertexId NeighborhoodSampler::SampleOne(std::span<const Neighbor> nbs,
   return fallback;
 }
 
+void NeighborhoodSampler::RefreshObsHandles() {
+  obs::MetricsRegistry* reg = obs::Default();
+  if (reg == obs_registry_) return;
+  obs_registry_ = reg;
+  if (reg == nullptr) {
+    hop_latency_ = frontier_sizes_ = fan_outs_ = nullptr;
+    return;
+  }
+  hop_latency_ =
+      reg->GetHistogram("sample.hop_latency_us", obs::LatencyBoundsUs());
+  frontier_sizes_ = reg->GetHistogram("sample.frontier_size",
+                                      obs::SizeBounds());
+  fan_outs_ = reg->GetHistogram("sample.fan_out", obs::SizeBounds());
+}
+
 NeighborhoodSample NeighborhoodSampler::Sample(
     NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
     std::span<const uint32_t> hop_nums, ThreadPool* pool) {
+  obs::ScopedSpan whole("sample/neighborhood");
+  // Per-hop instrumentation: latency histogram plus frontier / fan-out
+  // size distributions. Handles are cached across Sample calls; all null
+  // (and skipped) when observability is detached.
+  RefreshObsHandles();
+
   NeighborhoodSample sample;
   sample.roots.assign(roots.begin(), roots.end());
 
   std::span<const VertexId> frontier(sample.roots);
   BatchResult adj;
+  size_t hop_index = 0;
   for (uint32_t fan : hop_nums) {
+    // The hop span doubles as the latency-histogram timer.
+    obs::ScopedSpan hop_span(HopSpanName(hop_index), hop_latency_);
+    if (frontier_sizes_ != nullptr) {
+      frontier_sizes_->Record(static_cast<double>(frontier.size()));
+      fan_outs_->Record(static_cast<double>(fan));
+    }
     // One coalesced read for the whole frontier: the source sees the full
     // hop and can turn its remote residue into one request per worker.
     source.NeighborsBatch(frontier, type, &adj);
@@ -112,6 +158,7 @@ NeighborhoodSample NeighborhoodSampler::Sample(
     }
     sample.hops.push_back(std::move(next));
     frontier = std::span<const VertexId>(sample.hops.back());
+    ++hop_index;
   }
   return sample;
 }
@@ -131,6 +178,7 @@ NegativeSampler::NegativeSampler(const AttributedGraph& graph,
 
 std::vector<VertexId> NegativeSampler::Sample(size_t count,
                                               VertexId positive) {
+  obs::ScopedSpan span("sample/negative");
   std::vector<VertexId> out;
   if (candidates_.empty() || table_.empty()) return out;
   out.reserve(count);

@@ -25,6 +25,11 @@ namespace aligraph {
 
 class ThreadPool;
 
+namespace obs {
+class Histogram;
+class MetricsRegistry;
+}  // namespace obs
+
 /// \brief Adjacency access abstraction shared by all samplers.
 ///
 /// Besides per-vertex reads, sources expose a batched read so callers that
@@ -187,8 +192,17 @@ class NeighborhoodSampler {
   VertexId SampleOne(std::span<const Neighbor> nbs, VertexId fallback,
                      size_t rank, Rng& rng);
 
+  /// Re-resolves the cached histogram handles when the process default
+  /// registry changed since the last Sample call (one pointer compare per
+  /// call in steady state; all handles null when detached).
+  void RefreshObsHandles();
+
   NeighborStrategy strategy_;
   Rng rng_;
+  obs::MetricsRegistry* obs_registry_ = nullptr;
+  obs::Histogram* hop_latency_ = nullptr;
+  obs::Histogram* frontier_sizes_ = nullptr;
+  obs::Histogram* fan_outs_ = nullptr;
 };
 
 /// \brief NEGATIVE: samples noise vertices from a static unigram^power

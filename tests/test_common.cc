@@ -236,6 +236,17 @@ TEST(SummaryTest, EmptyIsZero) {
   EXPECT_EQ(s.Percentile(99), 0.0);
 }
 
+TEST(SummaryTest, UsableThroughConstReference) {
+  Summary s;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) s.Add(v);
+  const Summary& cs = s;
+  EXPECT_DOUBLE_EQ(cs.Percentile(50), 2.5);
+  EXPECT_FALSE(cs.ToString().empty());
+  // The lazy sort behind the const calls must not disturb the stats.
+  EXPECT_DOUBLE_EQ(cs.mean(), 2.5);
+  EXPECT_EQ(cs.count(), 4u);
+}
+
 TEST(PowerLawFitTest, RecoversSlopeOnSyntheticPowerLaw) {
   // Sample from Pr(X >= x) ~ x^{-(gamma-1)} via inverse transform.
   Rng rng(37);

@@ -1,0 +1,416 @@
+// Tests for the observability subsystem: sharded metrics registry, scoped
+// tracing with nested spans, JSON writer/parser, machine-readable run
+// reports, and the consistency of the cluster's exported comm counters
+// with CommStats snapshots.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "gen/powerlaw.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+#include "partition/partitioner.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace {
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+
+TEST(MetricsTest, CounterStartsAtZeroAndAdds) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("test.counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->Value(), 0u);
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->Value(), 42u);
+}
+
+TEST(MetricsTest, GetReturnsStableHandle) {
+  obs::MetricsRegistry registry;
+  obs::Counter* a = registry.GetCounter("same");
+  obs::Counter* b = registry.GetCounter("same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, registry.GetCounter("other"));
+}
+
+TEST(MetricsTest, ConcurrentIncrementsAreExact) {
+  obs::MetricsRegistry registry;
+  obs::Counter* c = registry.GetCounter("concurrent");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kIncrements = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([c] {
+      for (uint64_t i = 0; i < kIncrements; ++i) c->Add();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c->Value(), kThreads * kIncrements);
+}
+
+TEST(MetricsTest, GaugeLastWriteWins) {
+  obs::MetricsRegistry registry;
+  obs::Gauge* g = registry.GetGauge("g");
+  g->Set(1.5);
+  g->Set(2.5);
+  EXPECT_DOUBLE_EQ(g->Value(), 2.5);
+}
+
+TEST(MetricsTest, HistogramBucketsAndPercentiles) {
+  obs::MetricsRegistry registry;
+  const double bounds[] = {10.0, 100.0, 1000.0};
+  obs::Histogram* h = registry.GetHistogram("h", bounds);
+  for (int i = 0; i < 90; ++i) h->Record(5.0);    // bucket 0
+  for (int i = 0; i < 9; ++i) h->Record(50.0);    // bucket 1
+  h->Record(1e9);                                 // overflow bucket
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  ASSERT_EQ(snap.counts.size(), 4u);
+  EXPECT_EQ(snap.counts[0], 90u);
+  EXPECT_EQ(snap.counts[1], 9u);
+  EXPECT_EQ(snap.counts[3], 1u);
+  EXPECT_DOUBLE_EQ(snap.Percentile(50.0), 10.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(95.0), 100.0);
+  // Overflow bucket reports the last finite bound.
+  EXPECT_DOUBLE_EQ(snap.Percentile(99.9), 1000.0);
+}
+
+TEST(MetricsTest, HistogramConcurrentRecordsAreExact) {
+  obs::MetricsRegistry registry;
+  obs::Histogram* h =
+      registry.GetHistogram("hc", obs::LatencyBoundsUs());
+  constexpr int kThreads = 4;
+  constexpr uint64_t kRecords = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([h] {
+      for (uint64_t i = 0; i < kRecords; ++i) h->Record(3.0);
+    });
+  }
+  for (auto& th : threads) th.join();
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  EXPECT_EQ(snap.count, kThreads * kRecords);
+  EXPECT_DOUBLE_EQ(snap.sum, 3.0 * kThreads * kRecords);
+}
+
+TEST(MetricsTest, SnapshotCoversAllMetrics) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("c1")->Add(7);
+  registry.GetGauge("g1")->Set(0.25);
+  registry.GetHistogram("h1")->Record(12.0);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("c1"), 7u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("g1"), 0.25);
+  EXPECT_EQ(snap.histograms.at("h1").count, 1u);
+}
+
+TEST(MetricsTest, DefaultHandlesAreNullWhenDetached) {
+  ASSERT_EQ(obs::Default(), nullptr);
+  EXPECT_EQ(obs::DefaultCounter("x"), nullptr);
+  EXPECT_EQ(obs::DefaultGauge("x"), nullptr);
+  EXPECT_EQ(obs::DefaultHistogram("x"), nullptr);
+}
+
+// ---------------------------------------------------------------------------
+// Tracing
+
+TEST(TraceTest, ScopedSpanIsNoOpWhenDetached) {
+  ASSERT_EQ(obs::DefaultTracer(), nullptr);
+  {
+    obs::ScopedSpan span("detached/none");
+  }
+  EXPECT_EQ(obs::CurrentSpanDepth(), 0u);
+}
+
+TEST(TraceTest, NestedSpansAggregateWithDepths) {
+  obs::Tracer tracer;
+  obs::SetDefaultTracer(&tracer);
+  for (int i = 0; i < 3; ++i) {
+    obs::ScopedSpan outer("test/outer");
+    EXPECT_EQ(obs::CurrentSpanDepth(), 1u);
+    {
+      obs::ScopedSpan inner("test/inner");
+      EXPECT_EQ(obs::CurrentSpanDepth(), 2u);
+    }
+    {
+      obs::ScopedSpan inner("test/inner");
+    }
+  }
+  obs::SetDefaultTracer(nullptr);
+
+  const auto agg = tracer.Aggregate();
+  ASSERT_EQ(agg.count("test/outer"), 1u);
+  ASSERT_EQ(agg.count("test/inner"), 1u);
+  const obs::SpanStats& outer = agg.at("test/outer");
+  const obs::SpanStats& inner = agg.at("test/inner");
+  EXPECT_EQ(outer.count, 3u);
+  EXPECT_EQ(inner.count, 6u);
+  EXPECT_EQ(outer.depth, 1u);
+  EXPECT_EQ(inner.depth, 2u);
+  // Children run inside their parent, so their total cannot exceed it.
+  EXPECT_LE(inner.total_us, outer.total_us);
+  EXPECT_LE(outer.min_us, outer.max_us);
+  EXPECT_EQ(tracer.dropped_records(), 0u);
+}
+
+TEST(TraceTest, MultiThreadedSpansAllCounted) {
+  obs::Tracer tracer;
+  obs::SetDefaultTracer(&tracer);
+  constexpr int kThreads = 4;
+  constexpr int kSpans = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < kSpans; ++i) {
+        obs::ScopedSpan span("test/mt");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  obs::SetDefaultTracer(nullptr);
+  EXPECT_EQ(tracer.Aggregate().at("test/mt").count,
+            static_cast<uint64_t>(kThreads) * kSpans);
+}
+
+TEST(TraceTest, RingOverflowCountsDroppedRecords) {
+  obs::Tracer tracer(/*ring_capacity=*/8);
+  obs::SetDefaultTracer(&tracer);
+  for (int i = 0; i < 20; ++i) {
+    obs::ScopedSpan span("test/overflow");
+  }
+  obs::SetDefaultTracer(nullptr);
+  EXPECT_EQ(tracer.Aggregate().at("test/overflow").count, 8u);
+  EXPECT_EQ(tracer.dropped_records(), 12u);
+}
+
+// ---------------------------------------------------------------------------
+// JSON writer / parser
+
+TEST(JsonTest, WriterPlacesCommasAndEscapes) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("a").Value(uint64_t{1});
+  w.Key("b").BeginArray().Value("x\"y\n").Value(2.5).Null().EndArray();
+  w.Key("c").Value(true);
+  w.EndObject();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":[\"x\\\"y\\n\",2.5,null],\"c\":true}");
+}
+
+TEST(JsonTest, WriterDegradesNonFiniteToNull) {
+  obs::JsonWriter w;
+  w.BeginArray().Value(std::nan("")).Value(1e308).EndArray();
+  EXPECT_EQ(w.str().find("nan"), std::string::npos);
+  EXPECT_NE(w.str().find("null"), std::string::npos);
+}
+
+TEST(JsonTest, ParseRoundTrip) {
+  const char* text =
+      "{\"name\":\"run\",\"n\":3,\"neg\":-2.5e2,\"ok\":true,"
+      "\"none\":null,\"arr\":[1,2,3],\"obj\":{\"k\":\"v\"}}";
+  auto parsed = obs::JsonValue::Parse(text);
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue& v = parsed.value();
+  ASSERT_TRUE(v.IsObject());
+  EXPECT_EQ(v.Find("name")->string_value, "run");
+  EXPECT_DOUBLE_EQ(v.Find("n")->number, 3.0);
+  EXPECT_DOUBLE_EQ(v.Find("neg")->number, -250.0);
+  EXPECT_TRUE(v.Find("ok")->bool_value);
+  EXPECT_EQ(v.Find("none")->type, obs::JsonValue::Type::kNull);
+  ASSERT_EQ(v.Find("arr")->items.size(), 3u);
+  EXPECT_DOUBLE_EQ(v.Find("arr")->items[2].number, 3.0);
+  EXPECT_EQ(v.Find("obj")->Find("k")->string_value, "v");
+  EXPECT_EQ(v.Find("missing"), nullptr);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(obs::JsonValue::Parse("").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("[1] trailing").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("'single'").ok());
+}
+
+TEST(JsonTest, ParseUnicodeEscapes) {
+  auto parsed = obs::JsonValue::Parse("\"\\u0041\\u00e9\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value().string_value, "A\xc3\xa9");
+}
+
+// ---------------------------------------------------------------------------
+// RunReport
+
+TEST(RunReportTest, JsonFileRoundTrip) {
+  obs::MetricsRegistry registry;
+  registry.GetCounter("comm.remote_reads")->Add(123);
+  registry.GetGauge("cluster.workers")->Set(4);
+  registry.GetHistogram("lat", obs::LatencyBoundsUs())->Record(50.0);
+
+  obs::Tracer tracer;
+  obs::SetDefaultTracer(&tracer);
+  {
+    obs::ScopedSpan span("report/phase");
+  }
+  obs::SetDefaultTracer(nullptr);
+
+  obs::RunReport report("test_report");
+  report.AddMeta("dataset", "synthetic");
+  report.AddMeta("scale", 0.5);
+  report.AddMetric("headline_ms", 12.25);
+  report.AddTable("t", {"col_a", "col_b"});
+  report.AddRow({"1", "x"});
+  report.AddRow({"2", "y"});
+  report.AttachMetrics(registry.Snapshot());
+  report.AttachSpans(tracer.Aggregate());
+
+  const std::string dir = ::testing::TempDir() + "/obs_report_test";
+  std::string path;
+  ASSERT_TRUE(report.WriteFile(dir, &path).ok());
+  EXPECT_EQ(path, dir + "/test_report.json");
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto parsed = obs::JsonValue::Parse(buf.str());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue& v = parsed.value();
+
+  EXPECT_DOUBLE_EQ(v.Find("schema_version")->number, 1.0);
+  EXPECT_EQ(v.Find("name")->string_value, "test_report");
+  EXPECT_EQ(v.Find("meta")->Find("dataset")->string_value, "synthetic");
+  EXPECT_DOUBLE_EQ(v.Find("meta")->Find("scale")->number, 0.5);
+  EXPECT_DOUBLE_EQ(v.Find("metrics")->Find("headline_ms")->number, 12.25);
+  EXPECT_DOUBLE_EQ(v.Find("counters")->Find("comm.remote_reads")->number,
+                   123.0);
+  EXPECT_DOUBLE_EQ(v.Find("gauges")->Find("cluster.workers")->number, 4.0);
+
+  const obs::JsonValue* hist = v.Find("histograms")->Find("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_DOUBLE_EQ(hist->Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(hist->Find("sum")->number, 50.0);
+  EXPECT_EQ(hist->Find("bounds")->items.size(),
+            hist->Find("counts")->items.size() - 1);
+
+  const obs::JsonValue* span = v.Find("spans")->Find("report/phase");
+  ASSERT_NE(span, nullptr);
+  EXPECT_DOUBLE_EQ(span->Find("count")->number, 1.0);
+  EXPECT_DOUBLE_EQ(span->Find("depth")->number, 1.0);
+
+  const obs::JsonValue* tables = v.Find("tables");
+  ASSERT_TRUE(tables->IsArray());
+  ASSERT_EQ(tables->items.size(), 1u);
+  EXPECT_EQ(tables->items[0].Find("name")->string_value, "t");
+  EXPECT_EQ(tables->items[0].Find("columns")->items[1].string_value, "col_b");
+  EXPECT_EQ(tables->items[0].Find("rows")->items[1].items[1].string_value,
+            "y");
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Cluster comm counters vs CommStats
+
+TEST(ObsIntegrationTest, CommCountersMatchSnapshotDelta) {
+  obs::MetricsRegistry registry;
+  obs::SetDefault(&registry);
+
+  gen::ChungLuConfig cfg;
+  cfg.num_vertices = 1200;
+  cfg.avg_degree = 6;
+  cfg.seed = 17;
+  const AttributedGraph g = std::move(gen::ChungLu(cfg)).value();
+  auto cluster = std::move(Cluster::Build(g, EdgeCutPartitioner(), 3)).value();
+  cluster.InstallTopImportanceCache(/*k=*/1, 0.1);
+
+  CommStats stats;
+  const CommStats::Snapshot before = stats.snapshot();
+
+  // Per-vertex reads from every worker touch local, cached and remote paths.
+  for (VertexId v = 0; v < g.num_vertices(); v += 7) {
+    cluster.GetNeighbors(static_cast<WorkerId>(v % 3), v, &stats);
+  }
+  // Batched reads exercise the coalesced pipeline counters.
+  {
+    DistributedNeighborSource source(cluster, /*worker=*/0, &stats);
+    std::vector<VertexId> batch;
+    for (VertexId v = 0; v < 200; ++v) batch.push_back(v);
+    BatchResult out;
+    source.NeighborsBatch(batch, NeighborhoodSampler::kAllEdgeTypes, &out);
+    ASSERT_EQ(out.size(), batch.size());
+  }
+
+  obs::SetDefault(nullptr);
+
+  const CommStats::Snapshot delta = stats.snapshot().Delta(before);
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("comm.local_reads"), delta.local_reads);
+  EXPECT_EQ(snap.counters.at("comm.cache_hits"), delta.cache_hits);
+  EXPECT_EQ(snap.counters.at("comm.remote_reads"), delta.remote_reads);
+  EXPECT_EQ(snap.counters.at("comm.remote_batches"), delta.remote_batches);
+  EXPECT_EQ(snap.counters.at("comm.batched_remote_reads"),
+            delta.batched_remote_reads);
+  EXPECT_GT(delta.TotalReads(), 0u);
+  EXPECT_DOUBLE_EQ(snap.gauges.at("cluster.workers"), 3.0);
+}
+
+TEST(ObsIntegrationTest, ExportToMirrorsSnapshotFields) {
+  obs::MetricsRegistry registry;
+  CommStats::Snapshot s;
+  s.local_reads = 10;
+  s.cache_hits = 20;
+  s.remote_reads = 30;
+  s.remote_batches = 4;
+  s.batched_remote_reads = 25;
+  s.ExportTo(registry, "phase1");
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.counters.at("phase1.local_reads"), 10u);
+  EXPECT_EQ(snap.counters.at("phase1.cache_hits"), 20u);
+  EXPECT_EQ(snap.counters.at("phase1.remote_reads"), 30u);
+  EXPECT_EQ(snap.counters.at("phase1.remote_batches"), 4u);
+  EXPECT_EQ(snap.counters.at("phase1.batched_remote_reads"), 25u);
+}
+
+TEST(ObsIntegrationTest, SamplerRecordsHopHistogramsWhenAttached) {
+  obs::MetricsRegistry registry;
+  obs::Tracer tracer;
+  obs::SetDefault(&registry);
+  obs::SetDefaultTracer(&tracer);
+
+  gen::ChungLuConfig cfg;
+  cfg.num_vertices = 800;
+  cfg.avg_degree = 8;
+  cfg.seed = 5;
+  const AttributedGraph g = std::move(gen::ChungLu(cfg)).value();
+  LocalNeighborSource source(g);
+  NeighborhoodSampler sampler;
+  std::vector<VertexId> roots{1, 2, 3, 4};
+  const std::vector<uint32_t> fans{4, 2};
+  sampler.Sample(source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  obs::SetDefaultTracer(nullptr);
+  obs::SetDefault(nullptr);
+
+  const obs::MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.histograms.at("sample.hop_latency_us").count, 2u);
+  EXPECT_EQ(snap.histograms.at("sample.frontier_size").count, 2u);
+  const auto agg = tracer.Aggregate();
+  EXPECT_EQ(agg.at("sample/neighborhood").count, 1u);
+  EXPECT_EQ(agg.at("sample/hop0").count, 1u);
+  EXPECT_EQ(agg.at("sample/hop1").count, 1u);
+  // Hop spans nest inside the whole-call span.
+  EXPECT_EQ(agg.at("sample/hop0").depth, 2u);
+}
+
+}  // namespace
+}  // namespace aligraph
