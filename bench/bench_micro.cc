@@ -117,7 +117,7 @@ void BM_BucketSubmit(benchmark::State& state) {
   BucketExecutor exec(2);
   uint64_t group = 0;
   for (auto _ : state) {
-    exec.Submit(group++, [] {});
+    (void)exec.Submit(group++, [] {});
   }
   exec.Drain();
 }

@@ -14,6 +14,37 @@
 
 namespace aligraph {
 
+namespace {
+
+// Tags keep the request-key spaces of the read paths disjoint, so e.g. a
+// neighbor read and an attribute read of the same vertex are judged as
+// independent requests by the fault injector.
+constexpr uint64_t kNeighborReadTag = 0x6e62'7264ULL;  // "nbrd"
+constexpr uint64_t kAttrReadTag = 0x61'7472ULL;        // "atr"
+constexpr uint64_t kBatchReadTag = 0x62'6368ULL;       // "bch"
+constexpr uint64_t kJitterStreamTag = 0x6a'7472ULL;    // "jtr"
+
+uint64_t PerVertexRequestKey(VertexId v, EdgeType type) {
+  return Mix64((static_cast<uint64_t>(v) << 16) ^ type ^
+               (kNeighborReadTag << 40));
+}
+
+uint64_t AttrRequestKey(VertexId v) {
+  return Mix64(static_cast<uint64_t>(v) ^ (kAttrReadTag << 40));
+}
+
+/// Content-derived key of one coalesced per-worker request: a fold over
+/// the unique vertices it carries. Pure in the request's payload, so two
+/// identical runs judge identical requests identically regardless of
+/// thread interleaving or call order.
+uint64_t BatchRequestKey(const std::vector<VertexId>& vertices) {
+  uint64_t key = kBatchReadTag << 40;
+  for (const VertexId v : vertices) key = Mix64(key ^ v);
+  return key;
+}
+
+}  // namespace
+
 std::string ClusterBuildReport::ToString() const {
   std::ostringstream os;
   os << "partition=" << partition_ms << "ms distribute=" << distribute_ms
@@ -88,6 +119,9 @@ Result<Cluster> Cluster::Build(const AttributedGraph& graph,
     cluster.obs_.remote_batches = reg->GetCounter("comm.remote_batches");
     cluster.obs_.batched_remote_reads =
         reg->GetCounter("comm.batched_remote_reads");
+    cluster.obs_.retry_attempts = reg->GetCounter("retry.attempts");
+    cluster.obs_.retry_backoff_us = reg->GetCounter("retry.backoff_us");
+    cluster.obs_.failed_reads = reg->GetCounter("comm.failed_reads");
     reg->GetGauge("cluster.workers")->Set(num_workers);
     reg->GetGauge("cluster.vertices")->Set(static_cast<double>(n));
     reg->GetGauge("cluster.edges")
@@ -155,10 +189,175 @@ BucketExecutor& Cluster::executor() {
   return *executor_;
 }
 
+bool Cluster::RemoteRequestSucceeds(WorkerId from, WorkerId to,
+                                    uint64_t request_key, CommStats* stats) {
+  if (injector_ == nullptr || !injector_->enabled()) return true;
+  const RetryPolicy& policy = retry_policy_;
+  double charged_us = 0;  // backoff + injected latency, billed to the model
+  double elapsed_us = 0;  // modeled request clock, checked vs the deadline
+  uint64_t retries = 0;
+  bool success = false;
+
+  FaultDecision d = injector_->Decide(from, to, request_key, 1);
+  if (stats != nullptr && d.kind != FaultKind::kNone) {
+    stats->faults_injected.fetch_add(1);
+  }
+  charged_us += d.latency_us;
+  elapsed_us += d.latency_us;
+  if (d.Succeeds() && elapsed_us <= policy.deadline_us) {
+    success = true;
+  } else {
+    // Recovery path: retry with decorrelated-jitter backoff. The jitter
+    // stream is seeded per request from (injector seed, request key), so
+    // the whole backoff schedule replays exactly for a fixed seed.
+    obs::ScopedSpan retry_span("cluster/retry");
+    Rng jitter(
+        Mix64(injector_->config().seed ^ request_key ^ (kJitterStreamTag << 40)));
+    double prev_backoff = policy.base_backoff_us;
+    for (uint32_t attempt = 2; attempt <= policy.max_attempts; ++attempt) {
+      const double backoff = policy.NextBackoffUs(prev_backoff, jitter);
+      prev_backoff = backoff;
+      charged_us += backoff;
+      elapsed_us += backoff;
+      // Past the deadline there is no point sending another message.
+      if (elapsed_us > policy.deadline_us) break;
+      ++retries;
+      d = injector_->Decide(from, to, request_key, attempt);
+      if (stats != nullptr && d.kind != FaultKind::kNone) {
+        stats->faults_injected.fetch_add(1);
+      }
+      charged_us += d.latency_us;
+      elapsed_us += d.latency_us;
+      if (d.Succeeds() && elapsed_us <= policy.deadline_us) {
+        success = true;
+        break;
+      }
+    }
+  }
+
+  const uint64_t charged = static_cast<uint64_t>(charged_us + 0.5);
+  if (stats != nullptr) {
+    if (retries > 0) stats->retry_attempts.fetch_add(retries);
+    if (charged > 0) stats->retry_backoff_us.fetch_add(charged);
+    if (!success) stats->failed_reads.fetch_add(1);
+  }
+  if (obs_.retry_attempts != nullptr) {
+    if (retries > 0) obs_.retry_attempts->Add(retries);
+    if (charged > 0) obs_.retry_backoff_us->Add(charged);
+    if (!success) obs_.failed_reads->Add(1);
+  }
+  return success;
+}
+
+Result<std::span<const Neighbor>> Cluster::TryGetNeighbors(WorkerId from,
+                                                           VertexId v,
+                                                           CommStats* stats) {
+  const WorkerId owner = plan_.OwnerOf(v);
+  if (owner == from) {
+    if (stats != nullptr) stats->local_reads.fetch_add(1);
+    if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
+    return servers_[owner]->Neighbors(v);
+  }
+  NeighborCache* cache = servers_[from]->neighbor_cache();
+  if (cache != nullptr) {
+    auto hit = cache->Lookup(v);
+    if (hit.has_value()) {
+      if (stats != nullptr) stats->cache_hits.fetch_add(1);
+      if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
+      return *hit;
+    }
+  }
+  if (!RemoteRequestSucceeds(from, owner, PerVertexRequestKey(v, kAllEdgeTypes),
+                             stats)) {
+    return Status::Unavailable("neighbors of vertex " + std::to_string(v) +
+                               ": worker " + std::to_string(owner) +
+                               " did not answer within the retry budget");
+  }
+  if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
+  const auto nbs = servers_[owner]->Neighbors(v);
+  if (cache != nullptr) cache->OnRemoteFetch(v, nbs);
+  return nbs;
+}
+
+Result<std::span<const Neighbor>> Cluster::TryGetNeighbors(WorkerId from,
+                                                           VertexId v,
+                                                           EdgeType type,
+                                                           CommStats* stats) {
+  const WorkerId owner = plan_.OwnerOf(v);
+  if (owner == from) {
+    if (stats != nullptr) stats->local_reads.fetch_add(1);
+    if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
+    return servers_[owner]->Neighbors(v, type);
+  }
+  NeighborCache* cache = servers_[from]->neighbor_cache();
+  if (cache != nullptr && cache->Lookup(v).has_value()) {
+    if (stats != nullptr) stats->cache_hits.fetch_add(1);
+    if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
+    return servers_[owner]->Neighbors(v, type);
+  }
+  if (!RemoteRequestSucceeds(from, owner, PerVertexRequestKey(v, type),
+                             stats)) {
+    return Status::Unavailable("typed neighbors of vertex " +
+                               std::to_string(v) + ": worker " +
+                               std::to_string(owner) +
+                               " did not answer within the retry budget");
+  }
+  if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
+  const auto all = servers_[owner]->Neighbors(v);
+  if (cache != nullptr) cache->OnRemoteFetch(v, all);
+  return servers_[owner]->Neighbors(v, type);
+}
+
+Result<AttrId> Cluster::TryGetVertexAttr(WorkerId from, VertexId v,
+                                         CommStats* stats) {
+  const WorkerId owner = plan_.OwnerOf(v);
+  if (owner == from) {
+    if (stats != nullptr) stats->local_reads.fetch_add(1);
+    if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
+    return servers_[owner]->VertexAttr(v);
+  }
+  if (!RemoteRequestSucceeds(from, owner, AttrRequestKey(v), stats)) {
+    return Status::Unavailable("attribute of vertex " + std::to_string(v) +
+                               ": worker " + std::to_string(owner) +
+                               " did not answer within the retry budget");
+  }
+  if (stats != nullptr) stats->remote_reads.fetch_add(1);
+  if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
+  return servers_[owner]->VertexAttr(v);
+}
+
+void Cluster::InstallFaultInjection(FaultConfig config, RetryPolicy policy) {
+  retry_policy_ = policy;
+  if (retry_policy_.max_attempts == 0) retry_policy_.max_attempts = 1;
+  injector_ = std::make_unique<FaultInjector>(std::move(config));
+}
+
+void Cluster::ClearFaultInjection() { injector_.reset(); }
+
 void Cluster::GetNeighborsBatch(WorkerId from,
                                 std::span<const VertexId> batch,
                                 EdgeType type, BatchResult* out,
                                 CommStats* stats) {
+  // Infallible path: never consults the injector, so installed-but-unused
+  // fault configs cannot perturb it. Always OK, hence the discarded Status.
+  (void)GetNeighborsBatchImpl(from, batch, type, out, stats,
+                              /*fallible=*/false);
+}
+
+Status Cluster::TryGetNeighborsBatch(WorkerId from,
+                                     std::span<const VertexId> batch,
+                                     EdgeType type, BatchResult* out,
+                                     CommStats* stats) {
+  return GetNeighborsBatchImpl(from, batch, type, out, stats,
+                               fault_injection_enabled());
+}
+
+Status Cluster::GetNeighborsBatchImpl(WorkerId from,
+                                      std::span<const VertexId> batch,
+                                      EdgeType type, BatchResult* out,
+                                      CommStats* stats, bool fallible) {
   obs::ScopedSpan span("cluster/batch_read");
   const bool all_types = type == kAllEdgeTypes;
   out->Reset(batch.size());
@@ -205,8 +404,25 @@ void Cluster::GetNeighborsBatch(WorkerId from,
     std::vector<std::span<const Neighbor>> response;
   };
   std::vector<WorkerRequest> requests;
+  size_t failed_slots = 0;
+  uint64_t failed_vertices = 0;
   for (WorkerId w = 0; w < per_worker.size(); ++w) {
     if (per_worker[w].empty()) continue;
+    // One fault decision per coalesced message — the message is the failure
+    // domain, so all slots of a failed per-worker request fail together.
+    // Judged on the calling thread, keeping retry accounting deterministic.
+    if (fallible &&
+        !RemoteRequestSucceeds(from, w, BatchRequestKey(per_worker[w]),
+                               stats)) {
+      for (const VertexId v : per_worker[w]) {
+        ++failed_vertices;
+        for (const uint32_t slot : remote_slots[v]) {
+          out->ok[slot] = 0;
+          ++failed_slots;
+        }
+      }
+      continue;
+    }
     requests.push_back({w, &per_worker[w], {}});
   }
 
@@ -224,7 +440,9 @@ void Cluster::GetNeighborsBatch(WorkerId from,
       };
       // Vertex group == destination server id: reads against one server
       // stay sequential in its lane while other servers proceed.
-      if (!exec.Submit(req.worker, op)) op();  // budget exhausted: run inline
+      // ResourceExhausted (local backpressure, not a worker fault) falls
+      // back to running the op inline on the calling thread.
+      if (!exec.TrySubmit(req.worker, op).ok()) op();
     }
     SpinBackoff backoff;
     while (pending.load(std::memory_order_acquire) > 0) backoff.Pause();
@@ -243,7 +461,9 @@ void Cluster::GetNeighborsBatch(WorkerId from,
     }
   }
 
-  const uint64_t unique_remote = remote_slots.size();
+  // Only admitted requests moved bytes: failed vertices are excluded from
+  // the payload counters (their cost lives in retry_* / failed_reads).
+  const uint64_t unique_remote = remote_slots.size() - failed_vertices;
   if (stats != nullptr) {
     stats->local_reads.fetch_add(local_count);
     stats->cache_hits.fetch_add(hit_count);
@@ -258,6 +478,10 @@ void Cluster::GetNeighborsBatch(WorkerId from,
     obs_.batched_remote_reads->Add(unique_remote);
     obs_.remote_batches->Add(requests.size());
   }
+  if (failed_slots == 0) return Status::OK();
+  return Status::Unavailable(std::to_string(failed_slots) + " of " +
+                             std::to_string(batch.size()) +
+                             " batch slots exhausted their retry budget");
 }
 
 double Cluster::InstallImportanceCache(int depth,

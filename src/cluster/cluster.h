@@ -23,6 +23,8 @@
 #include "cluster/graph_server.h"
 #include "cluster/request_bucket.h"
 #include "common/status.h"
+#include "fault/fault_injector.h"
+#include "fault/retry_policy.h"
 #include "graph/graph.h"
 #include "partition/partitioner.h"
 
@@ -87,6 +89,49 @@ class Cluster {
   void GetNeighborsBatch(WorkerId from, std::span<const VertexId> batch,
                          EdgeType type, BatchResult* out, CommStats* stats);
 
+  /// Fallible variants of the read paths, used when fault injection is
+  /// active. The first attempt plus up to retry_policy().max_attempts - 1
+  /// retries (exponential backoff with decorrelated jitter, modeled — see
+  /// RetryPolicy) are judged by the installed FaultInjector; backoff time
+  /// and failed attempts are charged to `stats` (retry_attempts,
+  /// retry_backoff_us, faults_injected, failed_reads) so
+  /// CommModel::ModeledMillis reflects the faults. With no injector
+  /// installed these behave exactly like the infallible paths and always
+  /// succeed. Exhausted retries return Unavailable; local and cache-served
+  /// reads never fail (faults model the network, not local storage).
+  Result<std::span<const Neighbor>> TryGetNeighbors(WorkerId from, VertexId v,
+                                                    CommStats* stats);
+  Result<std::span<const Neighbor>> TryGetNeighbors(WorkerId from, VertexId v,
+                                                    EdgeType type,
+                                                    CommStats* stats);
+
+  /// Fallible batched read: each coalesced per-worker request is judged
+  /// once (one fault decision per message, matching the real failure
+  /// domain). Failed requests mark their slots out->ok[i] = 0 and leave the
+  /// spans empty; successful slots are exactly GetNeighborsBatch's output.
+  /// Returns OK when every slot resolved, Unavailable when any failed.
+  Status TryGetNeighborsBatch(WorkerId from, std::span<const VertexId> batch,
+                              EdgeType type, BatchResult* out,
+                              CommStats* stats);
+
+  /// Fallible attribute fetch: local attrs are free; remote attrs cost one
+  /// (retryable) individual message. kNoAttr for vertices without attrs.
+  Result<AttrId> TryGetVertexAttr(WorkerId from, VertexId v, CommStats* stats);
+
+  /// Installs deterministic fault injection + the retry policy applied to
+  /// the TryGet* read paths. An inactive config (all probabilities zero, no
+  /// schedule) leaves every path byte-identical to the uninjected cluster.
+  void InstallFaultInjection(FaultConfig config, RetryPolicy policy = {});
+
+  /// Removes fault injection; all read paths are infallible again.
+  void ClearFaultInjection();
+
+  bool fault_injection_enabled() const {
+    return injector_ != nullptr && injector_->enabled();
+  }
+  const FaultInjector* fault_injector() const { return injector_.get(); }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+
   /// Installs the paper's importance-based cache on every worker: vertices
   /// with Imp_k >= taus[k-1] for any k <= depth get their out-neighbors
   /// replicated to all workers. Returns the fraction of vertices cached.
@@ -123,7 +168,26 @@ class Cluster {
     obs::Counter* remote_reads = nullptr;
     obs::Counter* remote_batches = nullptr;
     obs::Counter* batched_remote_reads = nullptr;
+    obs::Counter* retry_attempts = nullptr;
+    obs::Counter* retry_backoff_us = nullptr;
+    obs::Counter* failed_reads = nullptr;
   };
+
+  /// Runs the retry loop for one remote request (one message): judges up
+  /// to retry_policy_.max_attempts attempts against the injector, charging
+  /// faults, retries and modeled backoff to `stats` and the registry.
+  /// Returns true when some attempt succeeded within the deadline. Always
+  /// true when no injector is active.
+  bool RemoteRequestSucceeds(WorkerId from, WorkerId to, uint64_t request_key,
+                             CommStats* stats);
+
+  /// Shared implementation of the batched read. With `fallible` false this
+  /// is exactly the historical GetNeighborsBatch (every slot resolves, no
+  /// injector branch is evaluated); with `fallible` true each coalesced
+  /// per-worker request is judged by the retry loop first.
+  Status GetNeighborsBatchImpl(WorkerId from, std::span<const VertexId> batch,
+                               EdgeType type, BatchResult* out,
+                               CommStats* stats, bool fallible);
 
   const AttributedGraph* graph_ = nullptr;
   CommCounters obs_;
@@ -131,6 +195,8 @@ class Cluster {
   std::vector<std::unique_ptr<GraphServer>> servers_;
   std::unique_ptr<std::mutex> executor_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<BucketExecutor> executor_;
+  std::unique_ptr<FaultInjector> injector_;
+  RetryPolicy retry_policy_;
 };
 
 /// Serial comparator for Fig. 7: builds one global adjacency map taking a

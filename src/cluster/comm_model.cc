@@ -14,6 +14,10 @@ void CommStats::Snapshot::ExportTo(obs::MetricsRegistry& registry,
   registry.GetCounter(prefix + ".remote_batches")->Add(remote_batches);
   registry.GetCounter(prefix + ".batched_remote_reads")
       ->Add(batched_remote_reads);
+  registry.GetCounter(prefix + ".faults_injected")->Add(faults_injected);
+  registry.GetCounter(prefix + ".retry_attempts")->Add(retry_attempts);
+  registry.GetCounter(prefix + ".retry_backoff_us")->Add(retry_backoff_us);
+  registry.GetCounter(prefix + ".failed_reads")->Add(failed_reads);
 }
 
 std::string CommStats::Snapshot::ToString() const {
@@ -21,6 +25,10 @@ std::string CommStats::Snapshot::ToString() const {
   os << "local=" << local_reads << " cache=" << cache_hits
      << " remote=" << remote_reads << " remote_batches=" << remote_batches
      << " batched_remote=" << batched_remote_reads;
+  if (faults_injected != 0 || retry_attempts != 0 || failed_reads != 0) {
+    os << " faults=" << faults_injected << " retries=" << retry_attempts
+       << " backoff_us=" << retry_backoff_us << " failed=" << failed_reads;
+  }
   return os.str();
 }
 

@@ -38,6 +38,17 @@ struct CommStats {
   /// Remote reads that traveled inside a coalesced batch (subset of
   /// remote_reads); remote_reads - batched_remote_reads were individual RPCs.
   std::atomic<uint64_t> batched_remote_reads{0};
+  /// Faults injected on remote request attempts (transient + timeout +
+  /// slow), charged by the retry layer when a FaultInjector is installed.
+  std::atomic<uint64_t> faults_injected{0};
+  /// Retry attempts beyond each remote request's first attempt.
+  std::atomic<uint64_t> retry_attempts{0};
+  /// Modeled microseconds of retry backoff plus injected timeout/slow
+  /// latency — the time a real cluster would lose to the faults.
+  std::atomic<uint64_t> retry_backoff_us{0};
+  /// Remote requests (messages) that exhausted their retry budget; the
+  /// affected read slots carry no data and samplers degrade instead.
+  std::atomic<uint64_t> failed_reads{0};
 
   /// \brief Plain (copyable) snapshot of the counters, for benches and
   /// before/after deltas. CommStats itself is non-copyable (atomics).
@@ -47,6 +58,10 @@ struct CommStats {
     uint64_t remote_reads = 0;
     uint64_t remote_batches = 0;
     uint64_t batched_remote_reads = 0;
+    uint64_t faults_injected = 0;
+    uint64_t retry_attempts = 0;
+    uint64_t retry_backoff_us = 0;
+    uint64_t failed_reads = 0;
 
     /// Counter-wise difference `*this - earlier` (counts accumulated since
     /// `earlier` was taken).
@@ -58,6 +73,10 @@ struct CommStats {
       d.remote_batches = remote_batches - earlier.remote_batches;
       d.batched_remote_reads =
           batched_remote_reads - earlier.batched_remote_reads;
+      d.faults_injected = faults_injected - earlier.faults_injected;
+      d.retry_attempts = retry_attempts - earlier.retry_attempts;
+      d.retry_backoff_us = retry_backoff_us - earlier.retry_backoff_us;
+      d.failed_reads = failed_reads - earlier.failed_reads;
       return d;
     }
 
@@ -81,6 +100,10 @@ struct CommStats {
     s.remote_reads = remote_reads.load();
     s.remote_batches = remote_batches.load();
     s.batched_remote_reads = batched_remote_reads.load();
+    s.faults_injected = faults_injected.load();
+    s.retry_attempts = retry_attempts.load();
+    s.retry_backoff_us = retry_backoff_us.load();
+    s.failed_reads = failed_reads.load();
     return s;
   }
 
@@ -90,6 +113,10 @@ struct CommStats {
     remote_reads = 0;
     remote_batches = 0;
     batched_remote_reads = 0;
+    faults_injected = 0;
+    retry_attempts = 0;
+    retry_backoff_us = 0;
+    failed_reads = 0;
   }
 
   uint64_t TotalReads() const {
@@ -117,18 +144,24 @@ struct CommModel {
   /// Modeled cost of a local cache/owned read, microseconds.
   double local_latency_us = 0.1;
 
-  /// Total modeled time for the recorded accesses, milliseconds.
+  /// Total modeled time for the recorded accesses, milliseconds. Retry
+  /// traffic is charged in full: every retry attempt and every
+  /// ultimately-failed request costs one RPC message, and the accumulated
+  /// backoff / injected latency (retry_backoff_us) is added verbatim — so
+  /// benches under fault injection reflect what the faults cost.
   double ModeledMillis(const CommStats::Snapshot& s) const {
     const double local =
         static_cast<double>(s.local_reads + s.cache_hits);
     // Individually-issued remote reads are one message each; coalesced
-    // reads share their batch's message.
+    // reads share their batch's message. Retries re-send their message;
+    // failed requests paid their first message without yielding a read.
     const uint64_t individual = s.remote_reads - s.batched_remote_reads;
-    const double messages =
-        static_cast<double>(individual + s.remote_batches);
+    const double messages = static_cast<double>(
+        individual + s.remote_batches + s.retry_attempts + s.failed_reads);
     const double items = static_cast<double>(s.remote_reads);
+    const double fault_us = static_cast<double>(s.retry_backoff_us);
     return (local * local_latency_us + messages * remote_rpc_us +
-            items * remote_item_us) *
+            items * remote_item_us + fault_us) *
            1e-3;
   }
 

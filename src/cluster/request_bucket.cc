@@ -43,8 +43,9 @@ BucketExecutor::~BucketExecutor() {
   for (auto& b : buckets_) b->consumer.join();
 }
 
-bool BucketExecutor::Submit(uint64_t group, Op op) {
-  Bucket& bucket = *buckets_[group % buckets_.size()];
+Status BucketExecutor::TrySubmit(uint64_t group, Op op) {
+  const size_t index = group % buckets_.size();
+  Bucket& bucket = *buckets_[index];
   submitted_.fetch_add(1, std::memory_order_relaxed);
   // Pass a copy per attempt: a failed TryPush leaves its argument
   // moved-from, so retrying with the original would drop the op.
@@ -56,14 +57,16 @@ bool BucketExecutor::Submit(uint64_t group, Op op) {
       submitted_.fetch_sub(1, std::memory_order_relaxed);
       dropped_after_spin_.fetch_add(1, std::memory_order_relaxed);
       if (obs_dropped_ != nullptr) obs_dropped_->Add(1);
-      return false;
+      return Status::ResourceExhausted(
+          "request bucket " + std::to_string(index) +
+          " stayed full through the submit backoff budget");
     }
     if (backoff.Pause()) {
       submit_backoff_sleeps_.fetch_add(1, std::memory_order_relaxed);
       if (obs_sleeps_ != nullptr) obs_sleeps_->Add(1);
     }
   }
-  return true;
+  return Status::OK();
 }
 
 void BucketExecutor::Drain() {

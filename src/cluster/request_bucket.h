@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "graph/types.h"
 
 namespace aligraph {
@@ -127,10 +128,17 @@ class BucketExecutor {
   BucketExecutor& operator=(const BucketExecutor&) = delete;
 
   /// Enqueues an operation for a vertex group, backing off exponentially
-  /// while the ring is full. Returns false when the spin budget is
-  /// exhausted: the op was NOT enqueued (counted in dropped_after_spin())
-  /// and the caller must run or retry it itself.
-  [[nodiscard]] bool Submit(uint64_t group, Op op);
+  /// while the ring is full. Returns OK when enqueued; ResourceExhausted
+  /// when the spin budget is exhausted — the op was NOT enqueued (counted
+  /// in dropped_after_spin()) and the caller must run or retry it itself.
+  /// The Status code lets retry layers distinguish this local backpressure
+  /// from a failed remote worker (Unavailable).
+  [[nodiscard]] Status TrySubmit(uint64_t group, Op op);
+
+  /// Bool-returning convenience wrapper over TrySubmit (true == enqueued).
+  [[nodiscard]] bool Submit(uint64_t group, Op op) {
+    return TrySubmit(group, std::move(op)).ok();
+  }
 
   /// Blocks until every submitted operation has executed.
   void Drain();

@@ -28,6 +28,11 @@ enum class StatusCode : uint8_t {
   kInternal = 7,
   kNotSupported = 8,
   kIoError = 9,
+  /// A (simulated) remote worker failed to answer within the retry budget.
+  /// Distinct from kResourceExhausted (local backpressure, e.g. a full
+  /// request bucket): Unavailable means retrying elsewhere or degrading;
+  /// ResourceExhausted means the caller should run the work itself.
+  kUnavailable = 10,
 };
 
 /// \brief Returns a short human-readable name for a StatusCode.
@@ -84,6 +89,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   /// True iff the operation succeeded.

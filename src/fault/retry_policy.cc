@@ -1,0 +1,23 @@
+#include "fault/retry_policy.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace aligraph {
+
+double RetryPolicy::NextBackoffUs(double prev_us, Rng& rng) const {
+  const double lo = base_backoff_us;
+  const double hi = std::max(lo, prev_us * 3.0);
+  const double draw = lo + rng.NextDouble() * (hi - lo);
+  return std::min(max_backoff_us, draw);
+}
+
+std::string RetryPolicy::ToString() const {
+  std::ostringstream os;
+  os << "max_attempts=" << max_attempts << " base_backoff=" << base_backoff_us
+     << "us max_backoff=" << max_backoff_us << "us deadline=" << deadline_us
+     << "us";
+  return os.str();
+}
+
+}  // namespace aligraph

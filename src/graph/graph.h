@@ -37,10 +37,25 @@ struct Neighbor {
 /// allocation.
 struct BatchResult {
   std::vector<std::span<const Neighbor>> spans;
+  /// Per-slot success flags for fallible (retry-aware) read paths:
+  /// ok[i] == 0 means slot i exhausted its retry budget and spans[i] is
+  /// empty — distinguishable from a genuinely empty adjacency, which has
+  /// ok[i] == 1. Infallible paths leave every flag at 1.
+  std::vector<uint8_t> ok;
 
-  void Reset(size_t n) { spans.assign(n, {}); }
+  void Reset(size_t n) {
+    spans.assign(n, {});
+    ok.assign(n, 1);
+  }
   size_t size() const { return spans.size(); }
   std::span<const Neighbor> operator[](size_t i) const { return spans[i]; }
+
+  /// Number of slots whose read failed (0 on infallible paths).
+  size_t FailedSlots() const {
+    size_t failed = 0;
+    for (const uint8_t f : ok) failed += f == 0;
+    return failed;
+  }
 };
 
 /// \brief Compressed sparse row adjacency over a fixed vertex count.

@@ -311,6 +311,10 @@ class JsonParser {
     char* end = nullptr;
     const double v = std::strtod(token.c_str(), &end);
     if (end != token.c_str() + token.size()) return Err("malformed number");
+    // strtod saturates values past DBL_MAX to +/-inf; the writer never
+    // emits non-finite numbers, so treat overflow as a parse error instead
+    // of letting inf/nan leak into report consumers.
+    if (!std::isfinite(v)) return Err("number out of range");
     out->type = JsonValue::Type::kNumber;
     out->number = v;
     return Status::OK();

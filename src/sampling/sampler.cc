@@ -54,7 +54,17 @@ std::vector<std::pair<VertexId, Neighbor>> TraverseSampler::SampleEdges(
     seeds.resize(want);
     for (VertexId& s : seeds) s = pool_[rng_.Uniform(pool_.size())];
     tries += want;
-    source.NeighborsBatch(seeds, type, &adj);
+    // Checked read: on an infallible source this is exactly NeighborsBatch.
+    // Failed slots (ok == 0) have empty spans and fall through the empty
+    // check below, so the sampler degrades by re-drawing those seeds in the
+    // next round instead of aborting the batch.
+    const Status st = source.NeighborsBatchChecked(seeds, type, &adj);
+    if (!st.ok()) {
+      const uint64_t failed = static_cast<uint64_t>(adj.FailedSlots());
+      if (obs::Counter* degraded = obs::DefaultCounter("degraded.samples")) {
+        degraded->Add(failed);
+      }
+    }
     for (size_t i = 0; i < seeds.size() && batch.size() < batch_size; ++i) {
       const auto nbs = adj.spans[i];
       if (nbs.empty()) continue;
@@ -103,6 +113,7 @@ void NeighborhoodSampler::RefreshObsHandles() {
   obs_registry_ = reg;
   if (reg == nullptr) {
     hop_latency_ = frontier_sizes_ = fan_outs_ = nullptr;
+    degraded_samples_ = nullptr;
     return;
   }
   hop_latency_ =
@@ -110,6 +121,43 @@ void NeighborhoodSampler::RefreshObsHandles() {
   frontier_sizes_ = reg->GetHistogram("sample.frontier_size",
                                       obs::SizeBounds());
   fan_outs_ = reg->GetHistogram("sample.fan_out", obs::SizeBounds());
+  degraded_samples_ = reg->GetCounter("degraded.samples");
+}
+
+void NeighborhoodSampler::AdmitStale(std::span<const VertexId> frontier,
+                                     const BatchResult& adj) {
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    if (adj.ok[i] == 0) continue;
+    if (stale_cache_.size() >= kStaleCacheCap) return;
+    auto [it, inserted] = stale_cache_.try_emplace(frontier[i]);
+    if (inserted || !adj.spans[i].empty()) {
+      it->second.assign(adj.spans[i].begin(), adj.spans[i].end());
+    }
+  }
+}
+
+void NeighborhoodSampler::DegradeFailedSlots(std::span<const VertexId> frontier,
+                                             BatchResult* adj,
+                                             NeighborhoodSample* sample) {
+  uint64_t degraded = 0;
+  for (size_t i = 0; i < frontier.size(); ++i) {
+    if (adj->ok[i] != 0) continue;
+    ++degraded;
+    auto it = stale_cache_.find(frontier[i]);
+    if (it != stale_cache_.end()) {
+      // Serve the last successfully fetched adjacency of this vertex. Stale
+      // data beats no data for a sampler: the draw stays unbiased w.r.t.
+      // the cached snapshot.
+      adj->spans[i] = it->second;
+    }
+    // No cached copy: leave the span empty — SampleOne's empty-span
+    // fallback repeats the root, i.e. the slot degenerates to a resample
+    // of itself, keeping hop shapes aligned with zero aborts.
+  }
+  if (degraded == 0) return;
+  sample->partial = true;
+  sample->degraded_draws += degraded;
+  if (degraded_samples_ != nullptr) degraded_samples_->Add(degraded);
 }
 
 NeighborhoodSample NeighborhoodSampler::Sample(
@@ -135,8 +183,17 @@ NeighborhoodSample NeighborhoodSampler::Sample(
       fan_outs_->Record(static_cast<double>(fan));
     }
     // One coalesced read for the whole frontier: the source sees the full
-    // hop and can turn its remote residue into one request per worker.
-    source.NeighborsBatch(frontier, type, &adj);
+    // hop and can turn its remote residue into one request per worker. On
+    // an infallible source the checked read IS NeighborsBatch (same bytes,
+    // same accounting); only fallible sources take the degradation branch.
+    (void)source.NeighborsBatchChecked(frontier, type, &adj);
+    if (source.fallible()) {
+      AdmitStale(frontier, adj);
+      // Resolve failures BEFORE the draw loop so the (possibly parallel)
+      // draw below never sees a failed slot — degradation is sequential
+      // and deterministic regardless of the thread pool.
+      DegradeFailedSlots(frontier, &adj, &sample);
+    }
     std::vector<VertexId> next(frontier.size() * fan);
     if (pool == nullptr) {
       for (size_t i = 0; i < frontier.size(); ++i) {

@@ -13,6 +13,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/cluster.h"
@@ -26,6 +27,7 @@ namespace aligraph {
 class ThreadPool;
 
 namespace obs {
+class Counter;
 class Histogram;
 class MetricsRegistry;
 }  // namespace obs
@@ -54,6 +56,22 @@ class NeighborSource {
       out->spans[i] = type == kAllEdgeTypes ? Neighbors(vertices[i])
                                             : Neighbors(vertices[i], type);
     }
+  }
+
+  /// True when reads through this source can fail (fault injection on a
+  /// distributed source). Samplers only engage their degradation paths —
+  /// stale-cache admission, partial-result bookkeeping — on fallible
+  /// sources, keeping the infallible hot path byte-identical.
+  virtual bool fallible() const { return false; }
+
+  /// Fallible batched read: like NeighborsBatch but slots whose read
+  /// exhausted its retry budget get out->ok[i] = 0 (span left empty) and
+  /// the call returns Unavailable. Infallible sources (the default) always
+  /// succeed with every flag at 1.
+  virtual Status NeighborsBatchChecked(std::span<const VertexId> vertices,
+                                       EdgeType type, BatchResult* out) {
+    NeighborsBatch(vertices, type, out);
+    return Status::OK();
   }
 };
 
@@ -100,6 +118,16 @@ class DistributedNeighborSource : public NeighborSource {
   void NeighborsBatch(std::span<const VertexId> vertices, EdgeType type,
                       BatchResult* out) override {
     cluster_.GetNeighborsBatch(worker_, vertices, type, out, stats_);
+  }
+
+  bool fallible() const override {
+    return cluster_.fault_injection_enabled();
+  }
+
+  Status NeighborsBatchChecked(std::span<const VertexId> vertices,
+                               EdgeType type, BatchResult* out) override {
+    return cluster_.TryGetNeighborsBatch(worker_, vertices, type, out,
+                                         stats_);
   }
 
  private:
@@ -166,6 +194,12 @@ enum class NeighborStrategy {
 struct NeighborhoodSample {
   std::vector<VertexId> roots;
   std::vector<std::vector<VertexId>> hops;  ///< hops[k]: flattened hop-k ids
+  /// True when at least one frontier read exhausted its retry budget and
+  /// the sampler degraded (stale cached neighbors or root-repeat resample)
+  /// instead of aborting. Always false on infallible sources.
+  bool partial = false;
+  /// Failed frontier slots that were served degraded (stale or resampled).
+  uint64_t degraded_draws = 0;
 };
 
 class NeighborhoodSampler {
@@ -188,21 +222,42 @@ class NeighborhoodSampler {
 
   static constexpr EdgeType kAllEdgeTypes = aligraph::kAllEdgeTypes;
 
+  /// Vertices currently held in the stale-neighbor fallback cache (only
+  /// populated while sampling through a fallible source).
+  size_t stale_cache_size() const { return stale_cache_.size(); }
+
  private:
   VertexId SampleOne(std::span<const Neighbor> nbs, VertexId fallback,
                      size_t rank, Rng& rng);
+
+  /// Graceful degradation: for every failed slot of a fallible frontier
+  /// read, substitute the stale cached adjacency when one is held, else
+  /// leave the span empty so SampleOne's fallback repeats the root (a
+  /// resample). Counts degraded slots into the sample and "degraded.samples".
+  void DegradeFailedSlots(std::span<const VertexId> frontier, BatchResult* adj,
+                          NeighborhoodSample* sample);
+
+  /// Admits successful slots of a fallible read into the stale cache
+  /// (copies; capped) so later hops can survive the same vertex failing.
+  void AdmitStale(std::span<const VertexId> frontier, const BatchResult& adj);
 
   /// Re-resolves the cached histogram handles when the process default
   /// registry changed since the last Sample call (one pointer compare per
   /// call in steady state; all handles null when detached).
   void RefreshObsHandles();
 
+  /// Stale-cache capacity in vertices; admission stops when full (simple
+  /// and deterministic — no eviction, faults are rare and runs bounded).
+  static constexpr size_t kStaleCacheCap = size_t{1} << 16;
+
   NeighborStrategy strategy_;
   Rng rng_;
+  std::unordered_map<VertexId, std::vector<Neighbor>> stale_cache_;
   obs::MetricsRegistry* obs_registry_ = nullptr;
   obs::Histogram* hop_latency_ = nullptr;
   obs::Histogram* frontier_sizes_ = nullptr;
   obs::Histogram* fan_outs_ = nullptr;
+  obs::Counter* degraded_samples_ = nullptr;
 };
 
 /// \brief NEGATIVE: samples noise vertices from a static unigram^power

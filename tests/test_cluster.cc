@@ -355,6 +355,35 @@ TEST(BucketExecutorTest, FullRingDropsAfterSpinBudgetInsteadOfHanging) {
   EXPECT_EQ(ran.load(), 1 + 4 + 3);
 }
 
+TEST(BucketExecutorTest, TrySubmitReportsBackpressureAsResourceExhausted) {
+  // Same setup as the drop test, but through the Status-returning API: a
+  // successful enqueue is OK, a spin-budget exhaustion is ResourceExhausted
+  // (local backpressure — distinct from kUnavailable, a dead remote), and
+  // the rejected op must not run.
+  BucketExecutor exec(/*num_buckets=*/1, /*ring_capacity=*/4,
+                      /*submit_spin_limit=*/16);
+  std::atomic<bool> release{false};
+  std::atomic<int> ran{0};
+  ASSERT_TRUE(exec.TrySubmit(0, [&] {
+    while (!release.load()) std::this_thread::yield();
+    ++ran;
+  }).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(exec.TrySubmit(0, [&ran] { ++ran; }).ok());
+  }
+  // Ring is now full and its consumer blocked: the submit must give up
+  // with the backpressure code, leaving the op unexecuted.
+  const Status st = exec.TrySubmit(0, [&ran] { ++ran; });
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(st.message().empty());
+  EXPECT_EQ(exec.dropped_after_spin(), 1u);
+  release.store(true);
+  exec.Drain();
+  EXPECT_EQ(ran.load(), 1 + 4);  // the rejected op never ran
+}
+
 TEST(MpscRingTest, MultiProducerStressNoLossNoDuplication) {
   // N producers push disjoint tagged ranges; the consumer must see every
   // value exactly once (no loss, no duplication, any interleaving).

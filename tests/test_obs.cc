@@ -248,6 +248,107 @@ TEST(JsonTest, ParseUnicodeEscapes) {
   EXPECT_EQ(parsed.value().string_value, "A\xc3\xa9");
 }
 
+TEST(JsonTest, ParseEscapedStrings) {
+  auto parsed = obs::JsonValue::Parse(
+      "{\"k\\\"ey\": \"a\\\\b\\n\\t\\\"c\\\"\"}");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_TRUE(parsed->IsObject());
+  const obs::JsonValue* v = parsed->Find("k\"ey");
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->string_value, "a\\b\n\t\"c\"");
+  // An escape cut off by end-of-input must error, not read past the end.
+  EXPECT_FALSE(obs::JsonValue::Parse("\"dangling\\").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"bad escape \\q\"").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("\"unterminated").ok());
+}
+
+TEST(JsonTest, ParseNestedEmptyContainers) {
+  auto parsed = obs::JsonValue::Parse("{\"a\":[],\"b\":{},\"c\":[[],[{}]]}");
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue* a = parsed->Find("a");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(a->IsArray());
+  EXPECT_TRUE(a->items.empty());
+  const obs::JsonValue* b = parsed->Find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_TRUE(b->IsObject());
+  EXPECT_TRUE(b->members.empty());
+  const obs::JsonValue* c = parsed->Find("c");
+  ASSERT_NE(c, nullptr);
+  ASSERT_EQ(c->items.size(), 2u);
+  EXPECT_TRUE(c->items[0].items.empty());
+  ASSERT_EQ(c->items[1].items.size(), 1u);
+  EXPECT_TRUE(c->items[1].items[0].IsObject());
+}
+
+TEST(JsonTest, ParseRejectsNumericOverflow) {
+  // strtod saturates these to inf; the parser must reject them because the
+  // writer never emits non-finite numbers.
+  EXPECT_FALSE(obs::JsonValue::Parse("1e400").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("-1e400").ok());
+  EXPECT_FALSE(obs::JsonValue::Parse("[1, 2, 1e999]").ok());
+  // Large-but-finite still parses.
+  auto big = obs::JsonValue::Parse("1e308");
+  ASSERT_TRUE(big.ok());
+  EXPECT_DOUBLE_EQ(big->number, 1e308);
+}
+
+TEST(JsonTest, ParseTruncatedDocumentsErrorNotCrash) {
+  // Every prefix of a valid document is either an error or (rarely) a
+  // shorter valid document; it must never crash or hang.
+  const std::string doc =
+      "{\"name\":\"run\",\"metrics\":{\"a\":1.5,\"b\":[1,2,3]},"
+      "\"flag\":true,\"none\":null,\"esc\":\"x\\ny\\u0041\"}";
+  for (size_t len = 0; len < doc.size(); ++len) {
+    auto parsed = obs::JsonValue::Parse(doc.substr(0, len));
+    EXPECT_FALSE(parsed.ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(obs::JsonValue::Parse(doc).ok());
+}
+
+TEST(JsonTest, ParseSurvivesSeededMutations) {
+  // Fuzz-style sweep: mutate a valid report-shaped document with seeded
+  // byte edits (overwrite / insert / delete) and require the parser to
+  // either accept or reject cleanly — ASan/UBSan turn any overread into a
+  // hard failure here.
+  const std::string doc =
+      "{\"schema_version\":1,\"name\":\"bench\",\"meta\":{\"seed\":\"42\"},"
+      "\"metrics\":{\"ms\":12.25,\"items\":[1,2.5e3,-4]},"
+      "\"counters\":{\"fault.injected\":7},\"spans\":{},"
+      "\"tables\":[{\"name\":\"t\",\"columns\":[\"a\"],\"rows\":[[\"1\"]]}]}";
+  ASSERT_TRUE(obs::JsonValue::Parse(doc).ok());
+
+  Rng rng(0xfa57'f00dULL);
+  const char alphabet[] = "{}[]\",:.0123456789eE+-\\untrlfase \x01\x7f";
+  size_t accepted = 0;
+  for (int iter = 0; iter < 2000; ++iter) {
+    std::string mutated = doc;
+    const int edits = 1 + static_cast<int>(rng.Uniform(4));
+    for (int e = 0; e < edits; ++e) {
+      const char c = alphabet[rng.Uniform(sizeof(alphabet) - 1)];
+      const size_t pos = rng.Uniform(mutated.size());
+      switch (rng.Uniform(3)) {
+        case 0:
+          mutated[pos] = c;
+          break;
+        case 1:
+          mutated.insert(mutated.begin() + pos, c);
+          break;
+        default:
+          mutated.erase(mutated.begin() + pos);
+          break;
+      }
+    }
+    auto parsed = obs::JsonValue::Parse(mutated);
+    accepted += parsed.ok();
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+  // Sanity: most random mutations break the document.
+  EXPECT_LT(accepted, 2000u / 2);
+}
+
 // ---------------------------------------------------------------------------
 // RunReport
 

@@ -11,6 +11,7 @@
 #include "gen/powerlaw.h"
 #include "graph/graph.h"
 #include "partition/partitioner.h"
+#include "proptest.h"
 
 namespace aligraph {
 namespace {
@@ -155,6 +156,41 @@ TEST(PartitionPlanTest, EdgeAssignmentFollowsSource) {
   plan.vertex_owner = {0, 1};
   EXPECT_EQ(plan.AssignEdge(0, 1), 0u);
   EXPECT_EQ(plan.AssignEdge(1, 0), 1u);
+}
+
+// Property: every partitioner, on arbitrary graphs and worker counts,
+// (a) owns every vertex exactly once with a valid worker id, and
+// (b) conserves edges — routing each edge by its source owner loses and
+// duplicates nothing, so the per-worker counts sum back to m.
+ALIGRAPH_PROP(PartitionerProps, OwnershipTotalAndEdgesConserved, 8) {
+  const AttributedGraph g = proptest::RandomGraph(ctx);
+  const uint32_t workers = proptest::RandomWorkers(ctx);
+  for (const char* name :
+       {"edge_cut", "vertex_cut", "grid2d", "streaming", "metis"}) {
+    auto p = std::move(MakePartitioner(name)).value();
+    auto plan = p->Partition(g, workers);
+    ASSERT_TRUE(plan.ok()) << name;
+
+    // (a) The owner vector IS the ownership relation: one entry per
+    // vertex, each naming a valid worker.
+    ASSERT_EQ(plan->vertex_owner.size(), g.num_vertices()) << name;
+    for (const WorkerId w : plan->vertex_owner) ASSERT_LT(w, workers);
+
+    // (b) Edge conservation under source-owner routing.
+    std::vector<size_t> per_worker(workers, 0);
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      for (const Neighbor& nb : g.OutNeighbors(v)) {
+        ++per_worker[plan->AssignEdge(v, nb.dst)];
+      }
+    }
+    size_t total = 0;
+    for (const size_t c : per_worker) total += c;
+    // Undirected graphs store each edge in both endpoints' adjacency but
+    // count it once, so source-owner routing visits it twice.
+    const size_t expected =
+        g.undirected() ? 2 * g.num_edges() : g.num_edges();
+    EXPECT_EQ(total, expected) << name;
+  }
 }
 
 TEST(PartitionStatsTest, CrossEdgesCounted) {
