@@ -9,6 +9,8 @@
 #include <numeric>
 #include <vector>
 
+#include "block/feature_source.h"
+#include "block/sampled_block.h"
 #include "cluster/request_bucket.h"
 #include "common/alias_table.h"
 #include "common/lru_cache.h"
@@ -18,6 +20,7 @@
 #include "nn/matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "ops/operators.h"
 #include "sampling/sampler.h"
 
 namespace aligraph {
@@ -122,6 +125,78 @@ void BM_BucketSubmit(benchmark::State& state) {
   exec.Drain();
 }
 BENCHMARK(BM_BucketSubmit);
+
+// Shared fixture for the block benchmarks: one sampled two-hop block over
+// the bench graph plus a dense feature table.
+struct BlockFixture {
+  block::SampledBlock blk;
+  nn::Matrix table;          // [num_vertices, d] global feature table
+  std::vector<VertexId> slot_vertices;  // every slot's global id, flat
+};
+
+const BlockFixture& BenchBlock() {
+  static const BlockFixture* f = [] {
+    auto* fx = new BlockFixture;
+    const AttributedGraph& g = BenchGraph();
+    LocalNeighborSource source(g);
+    NeighborhoodSampler sampler;
+    std::vector<VertexId> roots(64);
+    std::iota(roots.begin(), roots.end(), 100);
+    const std::vector<uint32_t> fans{10, 5};
+    fx->blk = sampler.SampleBlock(source, roots,
+                                  NeighborhoodSampler::kAllEdgeTypes, fans);
+    Rng rng(9);
+    fx->table = nn::Matrix::Gaussian(g.num_vertices(), 32, 1.0f, rng);
+    fx->slot_vertices.assign(roots.begin(), roots.end());
+    for (const block::BlockHop& hop : fx->blk.hops()) {
+      for (const uint32_t l : hop.src) {
+        fx->slot_vertices.push_back(fx->blk.global_of(l));
+      }
+    }
+    return fx;
+  }();
+  return *f;
+}
+
+// Feature gathering for one sampled block: per-SLOT (the legacy flat path,
+// one row copy per occurrence) vs per-UNIQUE-vertex (the deduplicated
+// block gather). Arg 0 = per-slot, 1 = dedup.
+void BM_BlockGather(benchmark::State& state) {
+  const BlockFixture& f = BenchBlock();
+  block::MatrixFeatureSource source(f.table);
+  const bool dedup = state.range(0) == 1;
+  const std::span<const VertexId> targets =
+      dedup ? f.blk.globals() : std::span<const VertexId>(f.slot_vertices);
+  nn::Matrix out(targets.size(), f.table.cols());
+  for (auto _ : state) {
+    (void)source.Gather(targets, &out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(out.size() * sizeof(float)));
+}
+BENCHMARK(BM_BlockGather)->Arg(0)->Arg(1);
+
+// AGGREGATE over one hop: legacy per-slot materialization + map-based
+// Forward vs dense CSR-indexed ForwardBlock. Arg 0 = map, 1 = block.
+void BM_BlockAggregate(benchmark::State& state) {
+  const BlockFixture& f = BenchBlock();
+  const block::BlockHop& hop = f.blk.hops()[1];
+  Rng rng(11);
+  const nn::Matrix rows =
+      nn::Matrix::Gaussian(f.blk.num_vertices(), 32, 1.0f, rng);
+  ops::MeanAggregator agg;
+  const bool use_block = state.range(0) == 1;
+  for (auto _ : state) {
+    if (use_block) {
+      benchmark::DoNotOptimize(agg.ForwardBlock(rows, hop));
+    } else {
+      const nn::Matrix neighbors = block::GatherRows(rows, hop.src);
+      benchmark::DoNotOptimize(agg.Forward(neighbors, hop.fan));
+    }
+  }
+}
+BENCHMARK(BM_BlockAggregate)->Arg(0)->Arg(1);
 
 void BM_MatMul(benchmark::State& state) {
   Rng rng(7);

@@ -6,11 +6,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "cluster/cluster.h"
-#include "gen/taobao.h"
-#include "partition/partitioner.h"
-#include "sampling/sampler.h"
-#include "storage/importance.h"
+#include "aligraph.h"
 
 using namespace aligraph;
 

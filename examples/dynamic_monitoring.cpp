@@ -5,8 +5,7 @@
 
 #include <cstdio>
 
-#include "algo/evolving.h"
-#include "gen/dynamic_gen.h"
+#include "aligraph.h"
 
 using namespace aligraph;
 

@@ -6,12 +6,7 @@
 
 #include <cstdio>
 
-#include "algo/gnn.h"
-#include "cluster/cluster.h"
-#include "eval/link_prediction.h"
-#include "gen/taobao.h"
-#include "partition/partitioner.h"
-#include "sampling/sampler.h"
+#include "aligraph.h"
 
 using namespace aligraph;
 
@@ -59,7 +54,21 @@ int main() {
               seeds.size(), context.hops[0].size(), context.hops[1].size(),
               stats.ToString().c_str());
 
-  // 5. Train a GraphSAGE embedding and evaluate link prediction.
+  // 5. Or sample straight into a relabeled subgraph block: the frontier is
+  //    deduplicated to dense local ids, each hop becomes a local-id CSR,
+  //    and one coalesced pass gathers every unique vertex's attributes
+  //    through the cluster — operators then index dense rows, no hash maps.
+  block::ClusterFeatureSource features(cluster, /*worker=*/0, /*dim=*/16,
+                                       &stats);
+  const block::SampledBlock blk =
+      hood.SampleBlock(source, seeds, NeighborhoodSampler::kAllEdgeTypes,
+                       fans, /*pool=*/nullptr, &features);
+  std::printf("block: %zu slots -> %zu unique vertices (dedup %.2fx), "
+              "feature matrix %zux%zu\n",
+              blk.total_slots(), blk.num_vertices(), blk.dedup_ratio(),
+              blk.features().rows(), blk.features().cols());
+
+  // 6. Train a GraphSAGE embedding and evaluate link prediction.
   auto split_or = eval::SplitLinkPrediction(graph, 0.15, /*seed=*/42);
   if (!split_or.ok()) return 1;
   auto split = std::move(split_or).value();

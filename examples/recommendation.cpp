@@ -8,10 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "algo/gatne.h"
-#include "eval/link_prediction.h"
-#include "eval/metrics.h"
-#include "gen/taobao.h"
+#include "aligraph.h"
 
 using namespace aligraph;
 

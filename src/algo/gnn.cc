@@ -6,7 +6,10 @@
 #include <numeric>
 #include <unordered_set>
 
+#include "block/feature_source.h"
+#include "block/scaled_csr.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
 
 namespace aligraph {
 namespace algo {
@@ -47,6 +50,50 @@ nn::Matrix MeanAggBackward(const nn::Matrix& grad, size_t fan) {
   return out;
 }
 
+// Materializes a block's [num_vertices, d] feature matrix, reusing rows
+// already held by `row_cache` (keyed hop 0 by global id) and gathering only
+// the missing residue from `source`. Cached rows are bitwise copies of what
+// the source returned when first gathered, so reuse is exact. Only the
+// residue's bytes are charged to "block.gather_bytes"; rows whose fetch
+// failed stay zero and are NOT admitted to the cache.
+nn::Matrix GatherBlockFeatures(const block::SampledBlock& blk,
+                               block::FeatureSource& source,
+                               ops::HopEmbeddingCache* row_cache) {
+  nn::Matrix x(blk.num_vertices(), source.dim());
+  std::vector<uint8_t> present;
+  if (row_cache != nullptr) {
+    row_cache->LookupRows(0, blk.globals(), &x, &present);
+  } else {
+    present.assign(blk.num_vertices(), 0);
+  }
+  std::vector<VertexId> missing;
+  std::vector<uint32_t> missing_rows;
+  for (size_t i = 0; i < blk.num_vertices(); ++i) {
+    if (present[i] != 0) continue;
+    missing.push_back(blk.globals()[i]);
+    missing_rows.push_back(static_cast<uint32_t>(i));
+  }
+  if (missing.empty()) return x;
+  nn::Matrix fetched(missing.size(), source.dim());
+  std::vector<uint8_t> ok;
+  (void)source.Gather(missing, &fetched, &ok);
+  for (size_t k = 0; k < missing.size(); ++k) {
+    auto src = fetched.Row(k);
+    std::copy(src.begin(), src.end(), x.Row(missing_rows[k]).begin());
+  }
+  if (obs::Counter* bytes = obs::DefaultCounter("block.gather_bytes")) {
+    bytes->Add(static_cast<uint64_t>(fetched.size()) * sizeof(float));
+  }
+  if (row_cache != nullptr) {
+    // `ok` doubles as the skip mask: failed rows read 0 == "insert", so
+    // flip it — only successfully fetched rows enter the cache.
+    std::vector<uint8_t> skip(missing.size(), 0);
+    for (size_t k = 0; k < missing.size(); ++k) skip[k] = ok[k] == 0 ? 1 : 0;
+    row_cache->InsertRows(0, missing, fetched, &skip);
+  }
+  return x;
+}
+
 }  // namespace
 
 nn::Matrix SageLayer::Forward(const nn::Matrix& self,
@@ -77,6 +124,45 @@ nn::Matrix SageLayer::Forward(const nn::Matrix& self,
   }
   cache->fan = fan;
   cache->input = nn::ConcatCols(self, agg);
+  nn::Matrix y = linear_.ForwardAt(cache->input);
+  if (relu_) nn::ReluInPlace(y);
+  cache->output = y;
+  return y;
+}
+
+nn::Matrix SageLayer::ForwardBlock(const nn::Matrix& rows,
+                                   const block::BlockHop& hop, Cache* cache) {
+  const size_t n = hop.num_dst();
+  const size_t d = rows.cols();
+  nn::Matrix agg(n, d);
+  if (maxpool_) {
+    cache->argmax.assign(n * d, 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto dst = agg.Row(i);
+      const uint32_t begin = hop.offsets[i];
+      auto first = rows.Row(hop.src[begin]);
+      for (size_t j = 0; j < d; ++j) dst[j] = first[j];
+      for (uint32_t e = begin + 1; e < hop.offsets[i + 1]; ++e) {
+        auto src = rows.Row(hop.src[e]);
+        for (size_t j = 0; j < d; ++j) {
+          if (src[j] > dst[j]) {
+            dst[j] = src[j];
+            cache->argmax[i * d + j] = e - begin;
+          }
+        }
+      }
+    }
+  } else {
+    const float inv = 1.0f / static_cast<float>(hop.fan);
+    for (size_t i = 0; i < n; ++i) {
+      auto dst = agg.Row(i);
+      for (uint32_t e = hop.offsets[i]; e < hop.offsets[i + 1]; ++e) {
+        nn::Axpy(inv, rows.Row(hop.src[e]), dst);
+      }
+    }
+  }
+  cache->fan = hop.fan;
+  cache->input = nn::ConcatCols(block::GatherRows(rows, hop.dst), agg);
   nn::Matrix y = linear_.ForwardAt(cache->input);
   if (relu_) nn::ReluInPlace(y);
   cache->output = y;
@@ -127,7 +213,8 @@ SageTrainer::SageTrainer(const GnnConfig& config, size_t feature_dim)
       layer1_(feature_dim, config.dim, config.aggregator == "maxpool", rng_),
       layer2_(config.dim, config.dim, config.aggregator == "maxpool", rng_,
               /*relu=*/false),
-      opt_(config.learning_rate) {}
+      opt_(config.learning_rate),
+      feature_rows_(feature_dim) {}
 
 void SageTrainer::TrainEpochs(const AttributedGraph& graph,
                               const nn::Matrix& features, uint32_t epochs) {
@@ -141,6 +228,11 @@ void SageTrainer::TrainEpochs(const AttributedGraph& graph,
   NegativeSampler negatives(graph, all, 0.75, config_.seed + 2);
   NeighborhoodSampler hood(NeighborStrategy::kUniform, config_.seed + 3);
   LocalNeighborSource source(graph);
+  block::MatrixFeatureSource feature_source(features);
+  // The cached feature rows are only valid for THIS (graph, features)
+  // pair; trainers are reused across snapshots (Evolving GNN), so start
+  // each training run clean. Reuse still spans every batch of the run.
+  feature_rows_.Reset();
 
   const uint32_t f1 = config_.fanout1;
   const uint32_t f2 = config_.fanout2;
@@ -175,18 +267,32 @@ void SageTrainer::TrainEpochs(const AttributedGraph& graph,
       }
       if (roots.empty()) continue;
 
-      // Sampled 2-hop tree and feature gathering.
+      // Sampled 2-hop tree and feature gathering. Both branches draw the
+      // same sample (one shared draw loop) and execute the same float-op
+      // sequence, so the produced embeddings are bitwise equal; the block
+      // branch gathers features once per unique vertex (with cross-batch
+      // row reuse) instead of once per slot.
       const std::vector<uint32_t> fans{f1, f2};
-      const NeighborhoodSample tree = hood.Sample(
-          source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
-      const nn::Matrix x_roots = Gather(features, roots);
-      const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
-      const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
-
       SageLayer::Cache c_roots, c_h1, c_top;
-      const nn::Matrix h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
-      const nn::Matrix h1_h1 = layer1.Forward(x_h1, x_h2, f2, &c_h1);
-      const nn::Matrix h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+      nn::Matrix h1_roots, h1_h1, h2;
+      if (config_.use_blocks) {
+        const block::SampledBlock blk = hood.SampleBlock(
+            source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+        const nn::Matrix x =
+            GatherBlockFeatures(blk, feature_source, &feature_rows_);
+        h1_roots = layer1.ForwardBlock(x, blk.hops()[0], &c_roots);
+        h1_h1 = layer1.ForwardBlock(x, blk.hops()[1], &c_h1);
+        h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+      } else {
+        const NeighborhoodSample tree = hood.Sample(
+            source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+        const nn::Matrix x_roots = Gather(features, roots);
+        const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
+        const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
+        h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
+        h1_h1 = layer1.Forward(x_h1, x_h2, f2, &c_h1);
+        h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+      }
 
       // Edge loss and gradient on h2.
       nn::Matrix dh2(h2.rows(), h2.cols());
@@ -221,6 +327,8 @@ nn::Matrix SageTrainer::Infer(const AttributedGraph& graph,
   // Inference: one deterministic sampled pass over all vertices, chunked.
   nn::Matrix out(graph.num_vertices(), config_.dim);
   NeighborhoodSampler infer_hood(NeighborStrategy::kUniform, config_.seed + 7);
+  block::MatrixFeatureSource feature_source(features);
+  feature_rows_.Reset();
   const size_t chunk = 512;
   for (VertexId begin = 0; begin < graph.num_vertices(); begin += chunk) {
     const VertexId end =
@@ -228,15 +336,26 @@ nn::Matrix SageTrainer::Infer(const AttributedGraph& graph,
     std::vector<VertexId> roots(end - begin);
     std::iota(roots.begin(), roots.end(), begin);
     const std::vector<uint32_t> fans{f1, f2};
-    const NeighborhoodSample tree = infer_hood.Sample(
-        source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
-    const nn::Matrix x_roots = Gather(features, roots);
-    const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
-    const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
     SageLayer::Cache c_roots, c_h1, c_top;
-    const nn::Matrix h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
-    const nn::Matrix h1_h1 = layer1.Forward(x_h1, x_h2, f2, &c_h1);
-    nn::Matrix h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+    nn::Matrix h1_roots, h1_h1, h2;
+    if (config_.use_blocks) {
+      const block::SampledBlock blk = infer_hood.SampleBlock(
+          source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+      const nn::Matrix x =
+          GatherBlockFeatures(blk, feature_source, &feature_rows_);
+      h1_roots = layer1.ForwardBlock(x, blk.hops()[0], &c_roots);
+      h1_h1 = layer1.ForwardBlock(x, blk.hops()[1], &c_h1);
+      h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+    } else {
+      const NeighborhoodSample tree = infer_hood.Sample(
+          source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+      const nn::Matrix x_roots = Gather(features, roots);
+      const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
+      const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
+      h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
+      h1_h1 = layer1.Forward(x_h1, x_h2, f2, &c_h1);
+      h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
+    }
     nn::L2NormalizeRows(h2);
     for (size_t i = 0; i < h2.rows(); ++i) {
       auto src = h2.Row(i);
@@ -376,12 +495,33 @@ Result<nn::Matrix> Gcn::Embed(const AttributedGraph& graph) {
             static_cast<double>(support.size()) / config_.layer_samples;
       }
 
+      // The block path compiles the support-restricted propagation into a
+      // ScaledCsr once per step: the per-edge hash-set membership test and
+      // scale recomputation of the legacy lambdas disappear from the hot
+      // loop, and the CSR is reused by both forward propagations and the
+      // transposed backward one. Edge order and scales match the lambdas
+      // exactly, so both paths are bitwise equal.
+      block::ScaledCsr step_csr;
+      if (base.use_blocks) {
+        step_csr = block::BuildPropagationCsr(graph, support_ptr,
+                                              support_scale, degree_weight);
+      }
+      auto prop = [&](const nn::Matrix& h) {
+        return base.use_blocks ? step_csr.Propagate(h)
+                               : propagate(h, support_ptr, support_scale);
+      };
+      auto prop_t = [&](const nn::Matrix& g) {
+        return base.use_blocks
+                   ? step_csr.PropagateTransposed(g)
+                   : propagate_t(g, support_ptr, support_scale);
+      };
+
       // Forward.
-      const nn::Matrix px = propagate(x, support_ptr, support_scale);
+      const nn::Matrix px = prop(x);
       nn::Matrix h1 = w1.ForwardAt(px);
       nn::ReluInPlace(h1);
       const nn::Matrix h1_act = h1;
-      const nn::Matrix ph1 = propagate(h1_act, support_ptr, support_scale);
+      const nn::Matrix ph1 = prop(h1_act);
       const nn::Matrix h2 = w2.ForwardAt(ph1);
 
       // Sampled-edge loss on h2.
@@ -406,7 +546,7 @@ Result<nn::Matrix> Gcn::Embed(const AttributedGraph& graph) {
 
       // Backward.
       const nn::Matrix dph1 = w2.BackwardAt(ph1, dh2);
-      const nn::Matrix dh1 = propagate_t(dph1, support_ptr, support_scale);
+      const nn::Matrix dh1 = prop_t(dph1);
       const nn::Matrix dh1_pre = nn::ReluBackward(h1_act, dh1);
       w1.BackwardAt(px, dh1_pre);
       w1.Apply(opt);
@@ -415,10 +555,17 @@ Result<nn::Matrix> Gcn::Embed(const AttributedGraph& graph) {
   }
 
   // Inference is always exact full propagation with the trained weights.
-  const nn::Matrix px = propagate(x, nullptr, 1.0);
+  block::ScaledCsr full_csr;
+  if (base.use_blocks) {
+    full_csr = block::BuildPropagationCsr(graph, nullptr, 1.0, degree_weight);
+  }
+  auto full_prop = [&](const nn::Matrix& h) {
+    return base.use_blocks ? full_csr.Propagate(h) : propagate(h, nullptr, 1.0);
+  };
+  const nn::Matrix px = full_prop(x);
   nn::Matrix h1 = w1.ForwardAt(px);
   nn::ReluInPlace(h1);
-  const nn::Matrix ph1 = propagate(h1, nullptr, 1.0);
+  const nn::Matrix ph1 = full_prop(h1);
   nn::Matrix h2 = w2.ForwardAt(ph1);
   nn::L2NormalizeRows(h2);
   return h2;

@@ -15,9 +15,11 @@
 #include <vector>
 
 #include "algo/embedding_algorithm.h"
+#include "block/sampled_block.h"
 #include "nn/layers.h"
 #include "nn/skipgram.h"
 #include "nn/walks.h"
+#include "ops/hop_cache.h"
 #include "sampling/sampler.h"
 
 namespace aligraph {
@@ -36,6 +38,13 @@ struct GnnConfig {
   float learning_rate = 0.01f;
   std::string aggregator = "mean";  ///< "mean" or "maxpool"
   uint64_t seed = 31;
+  /// Run the subgraph-block execution path: samples are relabeled into
+  /// block::SampledBlock, features are gathered once per unique vertex
+  /// (with cross-batch row reuse through HopEmbeddingCache) and operators
+  /// index dense local-id rows. The legacy flat path (false) draws the
+  /// same samples and produces bit-identical embeddings; it is kept for
+  /// differential testing and ablation.
+  bool use_blocks = true;
 };
 
 /// \brief One GraphSAGE layer h' = ReLU(W [self || AGG(neigh)] + b) with an
@@ -61,6 +70,14 @@ class SageLayer {
   /// neighbors is [n*fan, in_dim]; self is [n, in_dim].
   nn::Matrix Forward(const nn::Matrix& self, const nn::Matrix& neighbors,
                      size_t fan, Cache* cache);
+
+  /// Block forward: `rows` is a block's dense [num_vertices, in_dim]
+  /// per-unique-vertex matrix; self rows come from hop.dst, neighbor rows
+  /// from the hop CSR, with no per-slot materialization of the neighbor
+  /// matrix. Fills `cache` exactly like Forward (same input / output /
+  /// argmax bits), so Backward serves both paths unchanged.
+  nn::Matrix ForwardBlock(const nn::Matrix& rows, const block::BlockHop& hop,
+                          Cache* cache);
 
   /// Returns (dSelf, dNeighbors).
   std::pair<nn::Matrix, nn::Matrix> Backward(const Cache& cache,
@@ -97,6 +114,12 @@ class SageTrainer {
   SageLayer layer1_;
   SageLayer layer2_;
   nn::Adam opt_;
+  /// Block-path feature rows keyed by (hop 0, global vertex id): a vertex
+  /// sampled by several batches has its feature row gathered once and
+  /// reused ("block.reused_rows"), which is exactly the paper's hop-level
+  /// materialization applied at the input layer where reuse is
+  /// semantics-preserving.
+  ops::HopEmbeddingCache feature_rows_;
 };
 
 /// \brief Two-layer GraphSAGE with node-wise neighbor sampling.

@@ -27,7 +27,10 @@
 #include "graph/types.h"
 
 // System layers: partitioning, distributed runtime, storage, sampling,
-// operators.
+// subgraph blocks, operators.
+#include "block/feature_source.h"
+#include "block/sampled_block.h"
+#include "block/scaled_csr.h"
 #include "cluster/cluster.h"
 #include "cluster/comm_model.h"
 #include "cluster/graph_server.h"

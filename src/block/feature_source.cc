@@ -1,0 +1,72 @@
+#include "block/feature_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "cluster/cluster.h"
+#include "common/logging.h"
+
+namespace aligraph {
+namespace block {
+
+namespace {
+
+/// Copies a (possibly shorter or longer) payload into a dim-wide row:
+/// truncate past dim, leave the zero tail when the payload is shorter.
+void CopyPadded(std::span<const float> payload, std::span<float> row) {
+  const size_t n = std::min(payload.size(), row.size());
+  if (n > 0) std::memcpy(row.data(), payload.data(), n * sizeof(float));
+}
+
+}  // namespace
+
+Status MatrixFeatureSource::Gather(std::span<const VertexId> vertices,
+                                   nn::Matrix* out,
+                                   std::vector<uint8_t>* ok) {
+  ALIGRAPH_CHECK_EQ(out->rows(), vertices.size());
+  ALIGRAPH_CHECK_EQ(out->cols(), matrix_.cols());
+  if (ok != nullptr) ok->assign(vertices.size(), 1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const std::span<const float> src = matrix_.Row(vertices[i]);
+    std::memcpy(out->Row(i).data(), src.data(), src.size() * sizeof(float));
+  }
+  return Status::OK();
+}
+
+Status GraphFeatureSource::Gather(std::span<const VertexId> vertices,
+                                  nn::Matrix* out, std::vector<uint8_t>* ok) {
+  ALIGRAPH_CHECK_EQ(out->rows(), vertices.size());
+  ALIGRAPH_CHECK_EQ(out->cols(), dim_);
+  if (ok != nullptr) ok->assign(vertices.size(), 1);
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    CopyPadded(graph_.VertexFeatures(vertices[i]), out->Row(i));
+  }
+  return Status::OK();
+}
+
+Status ClusterFeatureSource::Gather(std::span<const VertexId> vertices,
+                                    nn::Matrix* out,
+                                    std::vector<uint8_t>* ok) {
+  ALIGRAPH_CHECK_EQ(out->rows(), vertices.size());
+  ALIGRAPH_CHECK_EQ(out->cols(), dim_);
+  std::vector<AttrId> ids;
+  std::vector<uint8_t> slot_ok;
+  Status status = Status::OK();
+  if (cluster_.fault_injection_enabled()) {
+    status = cluster_.TryGetVertexAttrBatch(worker_, vertices, &ids, &slot_ok,
+                                            stats_);
+  } else {
+    cluster_.GetVertexAttrBatch(worker_, vertices, &ids, stats_);
+    slot_ok.assign(vertices.size(), 1);
+  }
+  const AttributeStore& store = cluster_.graph().vertex_attributes();
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    if (slot_ok[i] == 0 || ids[i] == kNoAttr) continue;
+    CopyPadded(store.Get(ids[i]), out->Row(i));
+  }
+  if (ok != nullptr) *ok = std::move(slot_ok);
+  return status;
+}
+
+}  // namespace block
+}  // namespace aligraph

@@ -1,0 +1,105 @@
+/// \file feature_source.h
+/// \brief Where a block's feature matrix comes from: a pre-built matrix, a
+/// local AttributedGraph's attribute store, or the simulated cluster with
+/// coalesced (and fault-aware) remote attribute reads.
+///
+/// The block pipeline gathers features exactly once per unique vertex, so
+/// the source abstraction is batched by construction: one Gather call per
+/// block, never one fetch per slot. The cluster-backed source mirrors the
+/// adjacency path's design — local slots are free, the remote residue is
+/// deduplicated and coalesced into one message per destination worker, and
+/// under fault injection each coalesced message is judged once, with
+/// failed rows reported instead of aborting the batch.
+
+#ifndef ALIGRAPH_BLOCK_FEATURE_SOURCE_H_
+#define ALIGRAPH_BLOCK_FEATURE_SOURCE_H_
+
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "graph/types.h"
+#include "nn/matrix.h"
+
+namespace aligraph {
+
+class Cluster;
+struct CommStats;
+
+namespace block {
+
+/// \brief Batched feature-row provider for block gathering.
+class FeatureSource {
+ public:
+  virtual ~FeatureSource() = default;
+
+  /// Feature dimensionality: every gathered row has this many columns.
+  virtual size_t dim() const = 0;
+
+  /// Fills out->Row(i) with the feature row of vertices[i]. `out` must be
+  /// a zero-initialized [vertices.size(), dim()] matrix. Rows whose fetch
+  /// failed (fallible sources only) are left zero; when `ok` is non-null
+  /// it is resized to vertices.size() with ok[i] == 0 marking the failed
+  /// rows. Returns OK when every row resolved, Unavailable otherwise.
+  virtual Status Gather(std::span<const VertexId> vertices, nn::Matrix* out,
+                        std::vector<uint8_t>* ok = nullptr) = 0;
+};
+
+/// \brief Rows of a pre-built [num_vertices, d] matrix indexed by global
+/// vertex id — the in-memory training case (e.g. BuildFeatureMatrix
+/// output). The matrix must outlive the source.
+class MatrixFeatureSource : public FeatureSource {
+ public:
+  explicit MatrixFeatureSource(const nn::Matrix& matrix) : matrix_(matrix) {}
+
+  size_t dim() const override { return matrix_.cols(); }
+  Status Gather(std::span<const VertexId> vertices, nn::Matrix* out,
+                std::vector<uint8_t>* ok = nullptr) override;
+
+ private:
+  const nn::Matrix& matrix_;
+};
+
+/// \brief Raw attribute payloads of a local AttributedGraph, truncated or
+/// zero-padded to `dim`. Vertices without attributes get a zero row.
+class GraphFeatureSource : public FeatureSource {
+ public:
+  GraphFeatureSource(const AttributedGraph& graph, size_t dim)
+      : graph_(graph), dim_(dim) {}
+
+  size_t dim() const override { return dim_; }
+  Status Gather(std::span<const VertexId> vertices, nn::Matrix* out,
+                std::vector<uint8_t>* ok = nullptr) override;
+
+ private:
+  const AttributedGraph& graph_;
+  size_t dim_;
+};
+
+/// \brief Attribute payloads read through the cluster from one worker's
+/// perspective: local slots cost nothing, remote slots ride coalesced
+/// per-worker attribute messages (Cluster::GetVertexAttrBatch), and when
+/// fault injection is active the Try* path is taken so failed messages
+/// degrade to zero rows instead of aborting the gather.
+class ClusterFeatureSource : public FeatureSource {
+ public:
+  ClusterFeatureSource(Cluster& cluster, WorkerId worker, size_t dim,
+                       CommStats* stats)
+      : cluster_(cluster), worker_(worker), dim_(dim), stats_(stats) {}
+
+  size_t dim() const override { return dim_; }
+  Status Gather(std::span<const VertexId> vertices, nn::Matrix* out,
+                std::vector<uint8_t>* ok = nullptr) override;
+
+ private:
+  Cluster& cluster_;
+  WorkerId worker_;
+  size_t dim_;
+  CommStats* stats_;
+};
+
+}  // namespace block
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_BLOCK_FEATURE_SOURCE_H_

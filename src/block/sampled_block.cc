@@ -1,0 +1,100 @@
+#include "block/sampled_block.h"
+
+#include <algorithm>
+
+#include "block/feature_source.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "obs/metrics.h"
+
+namespace aligraph {
+namespace block {
+
+SampledBlock SampledBlock::Build(std::span<const VertexId> roots,
+                                 std::span<const std::vector<VertexId>> hops,
+                                 std::span<const uint32_t> fans) {
+  ALIGRAPH_CHECK_EQ(hops.size(), fans.size());
+  Timer build_timer;
+  SampledBlock block;
+  // A k-hop tree over B roots has B * (1 + f1 + f1*f2 + ...) slots; unique
+  // vertices are at most that many.
+  size_t slots = roots.size();
+  for (const auto& hop : hops) slots += hop.size();
+  block.local_index_.reserve(slots);
+  block.globals_.reserve(slots);
+
+  auto relabel = [&block](VertexId v) {
+    auto [it, inserted] = block.local_index_.try_emplace(
+        v, static_cast<uint32_t>(block.globals_.size()));
+    if (inserted) block.globals_.push_back(v);
+    return it->second;
+  };
+
+  block.root_locals_.reserve(roots.size());
+  for (const VertexId r : roots) block.root_locals_.push_back(relabel(r));
+
+  // Level k's slots are level k-1's src entries: the CSR of hop k maps each
+  // previous-level slot (annotated with its occupant's local id) to `fan`
+  // freshly relabeled neighbors, preserving the flat layout's slot order.
+  const std::vector<uint32_t>* prev_slots = &block.root_locals_;
+  block.hops_.reserve(hops.size());
+  for (size_t k = 0; k < hops.size(); ++k) {
+    const uint32_t fan = fans[k];
+    const std::vector<VertexId>& flat = hops[k];
+    ALIGRAPH_CHECK_EQ(flat.size(), prev_slots->size() * fan);
+    BlockHop hop;
+    hop.fan = fan;
+    hop.dst = *prev_slots;
+    hop.offsets.reserve(hop.dst.size() + 1);
+    hop.src.reserve(flat.size());
+    for (size_t r = 0; r <= hop.dst.size(); ++r) {
+      hop.offsets.push_back(static_cast<uint32_t>(r * fan));
+    }
+    for (const VertexId v : flat) hop.src.push_back(relabel(v));
+    block.hops_.push_back(std::move(hop));
+    prev_slots = &block.hops_.back().src;
+  }
+
+  if (obs::MetricsRegistry* reg = obs::Default()) {
+    reg->GetHistogram("block.build_us", obs::LatencyBoundsUs())
+        ->Record(build_timer.ElapsedMicros());
+    reg->GetGauge("block.dedup_ratio")->Set(block.dedup_ratio());
+  }
+  return block;
+}
+
+size_t SampledBlock::total_slots() const {
+  size_t slots = root_locals_.size();
+  for (const BlockHop& hop : hops_) slots += hop.src.size();
+  return slots;
+}
+
+double SampledBlock::dedup_ratio() const {
+  if (globals_.empty()) return 1.0;
+  return static_cast<double>(total_slots()) /
+         static_cast<double>(globals_.size());
+}
+
+Status SampledBlock::GatherFeatures(FeatureSource& source) {
+  features_ = nn::Matrix(globals_.size(), source.dim());
+  std::vector<uint8_t> ok;
+  const Status st = source.Gather(globals_, &features_, &ok);
+  if (!st.ok()) partial_ = true;
+  if (obs::Counter* bytes = obs::DefaultCounter("block.gather_bytes")) {
+    bytes->Add(static_cast<uint64_t>(features_.size()) * sizeof(float));
+  }
+  return st;
+}
+
+nn::Matrix GatherRows(const nn::Matrix& rows,
+                      std::span<const uint32_t> locals) {
+  nn::Matrix out(locals.size(), rows.cols());
+  for (size_t i = 0; i < locals.size(); ++i) {
+    const auto src = rows.Row(locals[i]);
+    std::copy(src.begin(), src.end(), out.Row(i).begin());
+  }
+  return out;
+}
+
+}  // namespace block
+}  // namespace aligraph

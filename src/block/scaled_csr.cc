@@ -1,0 +1,64 @@
+#include "block/scaled_csr.h"
+
+#include "common/logging.h"
+
+namespace aligraph {
+namespace block {
+
+nn::Matrix ScaledCsr::Propagate(const nn::Matrix& h) const {
+  const size_t n = num_vertices();
+  ALIGRAPH_CHECK_EQ(h.rows(), n);
+  nn::Matrix out(n, h.cols());
+  for (VertexId v = 0; v < n; ++v) {
+    auto dst = out.Row(v);
+    nn::Axpy(self_scale[v], h.Row(v), dst);  // self loop always retained
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      nn::Axpy(scale[e], h.Row(src[e]), dst);
+    }
+  }
+  return out;
+}
+
+nn::Matrix ScaledCsr::PropagateTransposed(const nn::Matrix& g) const {
+  const size_t n = num_vertices();
+  ALIGRAPH_CHECK_EQ(g.rows(), n);
+  nn::Matrix out(n, g.cols());
+  for (VertexId v = 0; v < n; ++v) {
+    const auto row = g.Row(v);
+    nn::Axpy(self_scale[v], row, out.Row(v));
+    for (uint64_t e = offsets[v]; e < offsets[v + 1]; ++e) {
+      nn::Axpy(scale[e], row, out.Row(src[e]));
+    }
+  }
+  return out;
+}
+
+ScaledCsr BuildPropagationCsr(const AttributedGraph& graph,
+                              const std::unordered_set<VertexId>* support,
+                              double support_scale,
+                              const std::vector<double>& degree_weight) {
+  const VertexId n = graph.num_vertices();
+  ScaledCsr csr;
+  csr.self_scale.resize(n);
+  csr.offsets.reserve(n + 1);
+  csr.offsets.push_back(0);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbs = graph.OutNeighbors(v);
+    const float inv = 1.0f / static_cast<float>(nbs.size() + 1);
+    csr.self_scale[v] = inv;
+    for (const Neighbor& nb : nbs) {
+      if (support != nullptr && support->count(nb.dst) == 0) continue;
+      csr.src.push_back(nb.dst);
+      csr.scale.push_back(
+          support == nullptr
+              ? inv
+              : inv * static_cast<float>(support_scale /
+                                         degree_weight[nb.dst]));
+    }
+    csr.offsets.push_back(csr.src.size());
+  }
+  return csr;
+}
+
+}  // namespace block
+}  // namespace aligraph

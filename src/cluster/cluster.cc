@@ -43,6 +43,14 @@ uint64_t BatchRequestKey(const std::vector<VertexId>& vertices) {
   return key;
 }
 
+constexpr uint64_t kAttrBatchTag = 0x61'6263ULL;  // "abc" (attr batch)
+
+uint64_t AttrBatchRequestKey(const std::vector<VertexId>& vertices) {
+  uint64_t key = kAttrBatchTag << 40;
+  for (const VertexId v : vertices) key = Mix64(key ^ v);
+  return key;
+}
+
 }  // namespace
 
 std::string ClusterBuildReport::ToString() const {
@@ -326,6 +334,95 @@ Result<AttrId> Cluster::TryGetVertexAttr(WorkerId from, VertexId v,
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
   if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
   return servers_[owner]->VertexAttr(v);
+}
+
+void Cluster::GetVertexAttrBatch(WorkerId from, std::span<const VertexId> batch,
+                                 std::vector<AttrId>* ids, CommStats* stats) {
+  // Infallible path: never consults the injector (see GetNeighborsBatch).
+  (void)GetVertexAttrBatchImpl(from, batch, ids, nullptr, stats,
+                               /*fallible=*/false);
+}
+
+Status Cluster::TryGetVertexAttrBatch(WorkerId from,
+                                      std::span<const VertexId> batch,
+                                      std::vector<AttrId>* ids,
+                                      std::vector<uint8_t>* ok,
+                                      CommStats* stats) {
+  return GetVertexAttrBatchImpl(from, batch, ids, ok, stats,
+                                fault_injection_enabled());
+}
+
+Status Cluster::GetVertexAttrBatchImpl(WorkerId from,
+                                       std::span<const VertexId> batch,
+                                       std::vector<AttrId>* ids,
+                                       std::vector<uint8_t>* ok,
+                                       CommStats* stats, bool fallible) {
+  obs::ScopedSpan span("cluster/attr_batch_read");
+  ids->assign(batch.size(), kNoAttr);
+  if (ok != nullptr) ok->assign(batch.size(), 1);
+
+  // Owned slots resolve immediately; the remote residue is deduplicated and
+  // grouped by destination worker (attributes are never neighbor-cached).
+  uint64_t local_count = 0;
+  std::unordered_map<VertexId, std::vector<uint32_t>> remote_slots;
+  std::vector<std::vector<VertexId>> per_worker(servers_.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const VertexId v = batch[i];
+    const WorkerId owner = plan_.OwnerOf(v);
+    if (owner == from) {
+      (*ids)[i] = servers_[owner]->VertexAttr(v);
+      ++local_count;
+      continue;
+    }
+    auto [it, inserted] = remote_slots.try_emplace(v);
+    if (inserted) per_worker[owner].push_back(v);
+    it->second.push_back(static_cast<uint32_t>(i));
+  }
+
+  // One message (and one fault decision) per destination worker. Responses
+  // are scalar AttrIds, so they are served inline — no executor hop.
+  size_t failed_slots = 0;
+  uint64_t failed_vertices = 0;
+  uint64_t contacted_workers = 0;
+  for (WorkerId w = 0; w < per_worker.size(); ++w) {
+    if (per_worker[w].empty()) continue;
+    if (fallible &&
+        !RemoteRequestSucceeds(from, w, AttrBatchRequestKey(per_worker[w]),
+                               stats)) {
+      for (const VertexId v : per_worker[w]) {
+        ++failed_vertices;
+        for (const uint32_t slot : remote_slots[v]) {
+          if (ok != nullptr) (*ok)[slot] = 0;
+          ++failed_slots;
+        }
+      }
+      continue;
+    }
+    ++contacted_workers;
+    const GraphServer& srv = *servers_[w];
+    for (const VertexId v : per_worker[w]) {
+      const AttrId attr = srv.VertexAttr(v);
+      for (const uint32_t slot : remote_slots[v]) (*ids)[slot] = attr;
+    }
+  }
+
+  const uint64_t unique_remote = remote_slots.size() - failed_vertices;
+  if (stats != nullptr) {
+    stats->local_reads.fetch_add(local_count);
+    stats->remote_reads.fetch_add(unique_remote);
+    stats->batched_remote_reads.fetch_add(unique_remote);
+    stats->remote_batches.fetch_add(contacted_workers);
+  }
+  if (obs_.local_reads != nullptr) {
+    obs_.local_reads->Add(local_count);
+    obs_.remote_reads->Add(unique_remote);
+    obs_.batched_remote_reads->Add(unique_remote);
+    obs_.remote_batches->Add(contacted_workers);
+  }
+  if (failed_slots == 0) return Status::OK();
+  return Status::Unavailable(std::to_string(failed_slots) + " of " +
+                             std::to_string(batch.size()) +
+                             " attr slots exhausted their retry budget");
 }
 
 void Cluster::InstallFaultInjection(FaultConfig config, RetryPolicy policy) {

@@ -118,6 +118,24 @@ class Cluster {
   /// (retryable) individual message. kNoAttr for vertices without attrs.
   Result<AttrId> TryGetVertexAttr(WorkerId from, VertexId v, CommStats* stats);
 
+  /// Batched attribute fetch issued by worker `from`: (*ids)[i] is the
+  /// AttrId of batch[i] (kNoAttr for vertices without attributes). Mirrors
+  /// GetNeighborsBatch's shape: owned slots resolve locally per occurrence;
+  /// the remote residue is deduplicated and coalesced into ONE message per
+  /// destination worker. Each unique remote vertex counts one remote_read +
+  /// one batched_remote_read, each contacted worker one remote_batch.
+  void GetVertexAttrBatch(WorkerId from, std::span<const VertexId> batch,
+                          std::vector<AttrId>* ids, CommStats* stats);
+
+  /// Fallible batched attribute fetch: each coalesced per-worker message is
+  /// judged once by the retry loop. Slots of a failed message get
+  /// (*ids)[i] = kNoAttr and (*ok)[i] = 0 (when `ok` is non-null);
+  /// successful slots match GetVertexAttrBatch's output. Returns OK when
+  /// every slot resolved, Unavailable when any failed.
+  Status TryGetVertexAttrBatch(WorkerId from, std::span<const VertexId> batch,
+                               std::vector<AttrId>* ids,
+                               std::vector<uint8_t>* ok, CommStats* stats);
+
   /// Installs deterministic fault injection + the retry policy applied to
   /// the TryGet* read paths. An inactive config (all probabilities zero, no
   /// schedule) leaves every path byte-identical to the uninjected cluster.
@@ -188,6 +206,14 @@ class Cluster {
   Status GetNeighborsBatchImpl(WorkerId from, std::span<const VertexId> batch,
                                EdgeType type, BatchResult* out,
                                CommStats* stats, bool fallible);
+
+  /// Shared implementation of the batched attribute read; `fallible` works
+  /// as in GetNeighborsBatchImpl. Attribute payloads are scalar ids, so
+  /// responses are served inline on the calling thread (no executor hop).
+  Status GetVertexAttrBatchImpl(WorkerId from, std::span<const VertexId> batch,
+                                std::vector<AttrId>* ids,
+                                std::vector<uint8_t>* ok, CommStats* stats,
+                                bool fallible);
 
   const AttributedGraph* graph_ = nullptr;
   CommCounters obs_;

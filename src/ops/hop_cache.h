@@ -41,6 +41,23 @@ class HopEmbeddingCache {
   /// Stores (overwrites) the row for (hop, v).
   void Insert(int hop, VertexId v, std::span<const float> row);
 
+  /// Block-level batched lookup: for each global id of a block's unique
+  /// frontier, copies the cached (hop, id) row into rows->Row(i) and sets
+  /// (*present)[i] = 1; missed slots are untouched with the flag at 0.
+  /// Because blocks key rows by GLOBAL vertex id, entries inserted by one
+  /// batch are reused by every later batch that samples the same vertex —
+  /// hits are additionally counted into "block.reused_rows". Returns the
+  /// number of hits.
+  size_t LookupRows(int hop, std::span<const VertexId> globals,
+                    nn::Matrix* rows, std::vector<uint8_t>* present);
+
+  /// Batched insert of a block's per-vertex rows. When `only_missing` is
+  /// non-null (the `present` vector of a prior LookupRows), slots already
+  /// present are skipped instead of overwritten.
+  void InsertRows(int hop, std::span<const VertexId> globals,
+                  const nn::Matrix& rows,
+                  const std::vector<uint8_t>* only_missing = nullptr);
+
   /// Clears all entries; call at mini-batch boundaries.
   void Reset();
 
@@ -64,6 +81,7 @@ class HopEmbeddingCache {
   size_t misses_ = 0;
   obs::Counter* obs_hits_ = nullptr;
   obs::Counter* obs_misses_ = nullptr;
+  obs::Counter* obs_reused_rows_ = nullptr;
 };
 
 }  // namespace ops

@@ -40,6 +40,39 @@ Matrix MeanAggregator::Backward(const Matrix& grad_out) {
   return grad;
 }
 
+Matrix MeanAggregator::ForwardBlock(const Matrix& rows,
+                                    const block::BlockHop& hop) {
+  obs::ScopedSpan span("aggregate/fwd");
+  ALIGRAPH_CHECK_GT(hop.fan, 0u);
+  fan_ = hop.fan;
+  hop_ = &hop;
+  const size_t d = rows.cols();
+  Matrix out(hop.num_dst(), d);
+  const float inv = 1.0f / static_cast<float>(hop.fan);
+  for (size_t r = 0; r < hop.num_dst(); ++r) {
+    auto dst = out.Row(r);
+    for (uint32_t e = hop.offsets[r]; e < hop.offsets[r + 1]; ++e) {
+      nn::Axpy(inv, rows.Row(hop.src[e]), dst);
+    }
+  }
+  return out;
+}
+
+Matrix MeanAggregator::BackwardBlock(const Matrix& grad_out,
+                                     size_t num_rows) {
+  obs::ScopedSpan span("aggregate/bwd");
+  ALIGRAPH_CHECK(hop_ != nullptr);
+  Matrix grad(num_rows, grad_out.cols());
+  const float inv = 1.0f / static_cast<float>(fan_);
+  for (size_t r = 0; r < hop_->num_dst(); ++r) {
+    auto src = grad_out.Row(r);
+    for (uint32_t e = hop_->offsets[r]; e < hop_->offsets[r + 1]; ++e) {
+      nn::Axpy(inv, src, grad.Row(hop_->src[e]));
+    }
+  }
+  return grad;
+}
+
 Matrix SumAggregator::Forward(const Matrix& neighbors, size_t fan) {
   obs::ScopedSpan span("aggregate/fwd");
   ALIGRAPH_CHECK_GT(fan, 0u);
@@ -64,6 +97,35 @@ Matrix SumAggregator::Backward(const Matrix& grad_out) {
     auto src = grad_out.Row(b);
     for (size_t f = 0; f < fan_; ++f) {
       nn::Axpy(1.0f, src, grad.Row(b * fan_ + f));
+    }
+  }
+  return grad;
+}
+
+Matrix SumAggregator::ForwardBlock(const Matrix& rows,
+                                   const block::BlockHop& hop) {
+  obs::ScopedSpan span("aggregate/fwd");
+  ALIGRAPH_CHECK_GT(hop.fan, 0u);
+  fan_ = hop.fan;
+  hop_ = &hop;
+  Matrix out(hop.num_dst(), rows.cols());
+  for (size_t r = 0; r < hop.num_dst(); ++r) {
+    auto dst = out.Row(r);
+    for (uint32_t e = hop.offsets[r]; e < hop.offsets[r + 1]; ++e) {
+      nn::Axpy(1.0f, rows.Row(hop.src[e]), dst);
+    }
+  }
+  return out;
+}
+
+Matrix SumAggregator::BackwardBlock(const Matrix& grad_out, size_t num_rows) {
+  obs::ScopedSpan span("aggregate/bwd");
+  ALIGRAPH_CHECK(hop_ != nullptr);
+  Matrix grad(num_rows, grad_out.cols());
+  for (size_t r = 0; r < hop_->num_dst(); ++r) {
+    auto src = grad_out.Row(r);
+    for (uint32_t e = hop_->offsets[r]; e < hop_->offsets[r + 1]; ++e) {
+      nn::Axpy(1.0f, src, grad.Row(hop_->src[e]));
     }
   }
   return grad;
@@ -106,6 +168,54 @@ Matrix MaxPoolAggregator::Backward(const Matrix& grad_out) {
     }
   }
   return grad;
+}
+
+Matrix MaxPoolAggregator::ForwardBlock(const Matrix& rows,
+                                       const block::BlockHop& hop) {
+  obs::ScopedSpan span("aggregate/fwd");
+  ALIGRAPH_CHECK_GT(hop.fan, 0u);
+  fan_ = hop.fan;
+  hop_ = &hop;
+  const size_t d = rows.cols();
+  Matrix out(hop.num_dst(), d);
+  argmax_.assign(hop.num_dst() * d, 0);
+  for (size_t r = 0; r < hop.num_dst(); ++r) {
+    auto dst = out.Row(r);
+    const uint32_t begin = hop.offsets[r];
+    auto first = rows.Row(hop.src[begin]);
+    for (size_t j = 0; j < d; ++j) dst[j] = first[j];
+    for (uint32_t e = begin + 1; e < hop.offsets[r + 1]; ++e) {
+      auto src = rows.Row(hop.src[e]);
+      for (size_t j = 0; j < d; ++j) {
+        if (src[j] > dst[j]) {
+          dst[j] = src[j];
+          argmax_[r * d + j] = e - begin;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Matrix MaxPoolAggregator::BackwardBlock(const Matrix& grad_out,
+                                        size_t num_rows) {
+  obs::ScopedSpan span("aggregate/bwd");
+  ALIGRAPH_CHECK(hop_ != nullptr);
+  const size_t d = grad_out.cols();
+  Matrix grad(num_rows, d);
+  for (size_t r = 0; r < hop_->num_dst(); ++r) {
+    auto src = grad_out.Row(r);
+    for (size_t j = 0; j < d; ++j) {
+      const uint32_t e = hop_->offsets[r] + argmax_[r * d + j];
+      grad.At(hop_->src[e], j) += src[j];
+    }
+  }
+  return grad;
+}
+
+Matrix Combiner::ForwardBlock(const Matrix& rows, const block::BlockHop& hop,
+                              const Matrix& aggregated) {
+  return Forward(block::GatherRows(rows, hop.dst), aggregated);
 }
 
 Matrix ConcatCombiner::Forward(const Matrix& self, const Matrix& aggregated) {

@@ -16,6 +16,7 @@
 #include <utility>
 #include <vector>
 
+#include "block/sampled_block.h"
 #include "nn/layers.h"
 #include "nn/matrix.h"
 
@@ -23,6 +24,14 @@ namespace aligraph {
 namespace ops {
 
 /// \brief AGGREGATE plugin: [batch*fan, d] -> [batch, d].
+///
+/// Two input conventions are supported. The legacy Forward takes a
+/// materialized per-SLOT neighbor matrix (one row per sampled slot, with
+/// duplicated vertices duplicated); ForwardBlock takes the deduplicated
+/// per-VERTEX row matrix of a block::SampledBlock plus the hop CSR and
+/// indexes rows directly — no per-slot materialization, no hash lookups.
+/// Both run the identical float-operation sequence, so their outputs are
+/// bitwise equal for the same underlying rows.
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
@@ -33,6 +42,20 @@ class Aggregator {
 
   /// Backward: gradient w.r.t. the neighbor matrix.
   virtual nn::Matrix Backward(const nn::Matrix& grad_out) = 0;
+
+  /// Block forward: out.Row(r) aggregates rows.Row(hop.src[e]) for e in
+  /// [hop.offsets[r], hop.offsets[r + 1]), in edge order. `rows` is a
+  /// block's [num_vertices, d] per-unique-vertex matrix. The hop is
+  /// retained by pointer for BackwardBlock and must outlive it.
+  virtual nn::Matrix ForwardBlock(const nn::Matrix& rows,
+                                  const block::BlockHop& hop) = 0;
+
+  /// Block backward: scatters grad_out back onto the dense row matrix,
+  /// returning a [num_rows, d] gradient with one row per unique vertex
+  /// (duplicated slots accumulate). Equals the legacy Backward output
+  /// accumulated per vertex in slot order, bit for bit.
+  virtual nn::Matrix BackwardBlock(const nn::Matrix& grad_out,
+                                   size_t num_rows) = 0;
 };
 
 /// \brief Element-wise mean over each root's neighbors (GraphSAGE-mean,
@@ -42,9 +65,14 @@ class MeanAggregator : public Aggregator {
   std::string name() const override { return "mean"; }
   nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) override;
   nn::Matrix Backward(const nn::Matrix& grad_out) override;
+  nn::Matrix ForwardBlock(const nn::Matrix& rows,
+                          const block::BlockHop& hop) override;
+  nn::Matrix BackwardBlock(const nn::Matrix& grad_out,
+                           size_t num_rows) override;
 
  private:
   size_t fan_ = 1;
+  const block::BlockHop* hop_ = nullptr;
 };
 
 /// \brief Element-wise sum.
@@ -53,9 +81,14 @@ class SumAggregator : public Aggregator {
   std::string name() const override { return "sum"; }
   nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) override;
   nn::Matrix Backward(const nn::Matrix& grad_out) override;
+  nn::Matrix ForwardBlock(const nn::Matrix& rows,
+                          const block::BlockHop& hop) override;
+  nn::Matrix BackwardBlock(const nn::Matrix& grad_out,
+                           size_t num_rows) override;
 
  private:
   size_t fan_ = 1;
+  const block::BlockHop* hop_ = nullptr;
 };
 
 /// \brief Element-wise max with argmax routing in the backward pass
@@ -65,10 +98,15 @@ class MaxPoolAggregator : public Aggregator {
   std::string name() const override { return "maxpool"; }
   nn::Matrix Forward(const nn::Matrix& neighbors, size_t fan) override;
   nn::Matrix Backward(const nn::Matrix& grad_out) override;
+  nn::Matrix ForwardBlock(const nn::Matrix& rows,
+                          const block::BlockHop& hop) override;
+  nn::Matrix BackwardBlock(const nn::Matrix& grad_out,
+                           size_t num_rows) override;
 
  private:
   size_t fan_ = 1;
   std::vector<uint32_t> argmax_;  // (batch*d) winner slot per output element
+  const block::BlockHop* hop_ = nullptr;
 };
 
 /// \brief COMBINE plugin: (self [n, din], aggregated [n, din]) -> [n, dout].
@@ -83,6 +121,13 @@ class Combiner {
   /// Backward: gradients w.r.t. (self, aggregated).
   virtual std::pair<nn::Matrix, nn::Matrix> Backward(
       const nn::Matrix& grad_out) = 0;
+
+  /// Block combine: the self matrix is the block's dense rows indexed by
+  /// the hop's destination slots (one row per dst slot, duplicates kept).
+  /// Delegates to Forward after the gather, so outputs and the Backward
+  /// pairing are unchanged.
+  nn::Matrix ForwardBlock(const nn::Matrix& rows, const block::BlockHop& hop,
+                          const nn::Matrix& aggregated);
 
   /// Applies the optimizer to any trainable parameters.
   virtual void Apply(nn::Optimizer& opt) = 0;

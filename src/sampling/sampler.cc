@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <unordered_set>
 
 #include "common/logging.h"
 #include "common/threadpool.h"
@@ -20,6 +21,22 @@ const char* HopSpanName(size_t hop) {
       "sample/hop4", "sample/hop5", "sample/hop6", "sample/hop7+"};
   constexpr size_t kLast = sizeof(kNames) / sizeof(kNames[0]) - 1;
   return kNames[hop < kLast ? hop : kLast];
+}
+
+/// Bounds for the slots-per-unique-vertex duplicate ratio (>= 1; a hop of
+/// all-distinct vertices records 1, heavy hub resampling records >> 1).
+std::span<const double> RatioBounds() {
+  static constexpr double kBounds[] = {1,  1.25, 1.5, 2,  3,  4,  6, 8,
+                                       12, 16,   24,  32, 48, 64, 96, 128};
+  return kBounds;
+}
+
+/// slots / unique over one flat hop frontier.
+double FrontierDupRatio(std::span<const VertexId> frontier) {
+  if (frontier.empty()) return 1.0;
+  std::unordered_set<VertexId> unique(frontier.begin(), frontier.end());
+  return static_cast<double>(frontier.size()) /
+         static_cast<double>(unique.size());
 }
 
 }  // namespace
@@ -112,7 +129,7 @@ void NeighborhoodSampler::RefreshObsHandles() {
   if (reg == obs_registry_) return;
   obs_registry_ = reg;
   if (reg == nullptr) {
-    hop_latency_ = frontier_sizes_ = fan_outs_ = nullptr;
+    hop_latency_ = frontier_sizes_ = fan_outs_ = dup_ratio_ = nullptr;
     degraded_samples_ = nullptr;
     return;
   }
@@ -121,6 +138,7 @@ void NeighborhoodSampler::RefreshObsHandles() {
   frontier_sizes_ = reg->GetHistogram("sample.frontier_size",
                                       obs::SizeBounds());
   fan_outs_ = reg->GetHistogram("sample.fan_out", obs::SizeBounds());
+  dup_ratio_ = reg->GetHistogram("sample.frontier_dup_ratio", RatioBounds());
   degraded_samples_ = reg->GetCounter("degraded.samples");
 }
 
@@ -161,6 +179,26 @@ void NeighborhoodSampler::DegradeFailedSlots(std::span<const VertexId> frontier,
 }
 
 NeighborhoodSample NeighborhoodSampler::Sample(
+    NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
+    std::span<const uint32_t> hop_nums, ThreadPool* pool) {
+  return DrawHops(source, roots, type, hop_nums, pool);
+}
+
+block::SampledBlock NeighborhoodSampler::SampleBlock(
+    NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
+    std::span<const uint32_t> hop_nums, ThreadPool* pool,
+    block::FeatureSource* features) {
+  const NeighborhoodSample sample =
+      DrawHops(source, roots, type, hop_nums, pool);
+  block::SampledBlock out =
+      block::SampledBlock::Build(sample.roots, sample.hops, hop_nums);
+  out.set_partial(sample.partial);
+  out.add_degraded_draws(sample.degraded_draws);
+  if (features != nullptr) (void)out.GatherFeatures(*features);
+  return out;
+}
+
+NeighborhoodSample NeighborhoodSampler::DrawHops(
     NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
     std::span<const uint32_t> hop_nums, ThreadPool* pool) {
   obs::ScopedSpan whole("sample/neighborhood");
@@ -215,6 +253,7 @@ NeighborhoodSample NeighborhoodSampler::Sample(
     }
     sample.hops.push_back(std::move(next));
     frontier = std::span<const VertexId>(sample.hops.back());
+    if (dup_ratio_ != nullptr) dup_ratio_->Record(FrontierDupRatio(frontier));
     ++hop_index;
   }
   return sample;

@@ -16,6 +16,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "block/feature_source.h"
+#include "block/sampled_block.h"
 #include "cluster/cluster.h"
 #include "common/alias_table.h"
 #include "common/random.h"
@@ -184,13 +186,13 @@ enum class NeighborStrategy {
   kTopK,      ///< the k heaviest edges, deterministic
 };
 
-/// \brief NEIGHBORHOOD: generates the multi-hop context of a batch of
-/// vertices with aligned fan-outs (hop_nums), the paper's
-/// s2.sample(edge_type, vertex, hop_nums).
+/// \brief Legacy flat result of the NEIGHBORHOOD sampler: hop k is a flat
+/// vector of size batch * hop_nums[0] * ... * hop_nums[k]; vertices with
+/// no suitable neighbor repeat themselves so shapes stay aligned.
 ///
-/// The result for hop k is a flat vector of size
-/// batch * hop_nums[0] * ... * hop_nums[k]; vertices with no suitable
-/// neighbor repeat themselves so shapes stay aligned.
+/// New code should prefer NeighborhoodSampler::SampleBlock, which returns
+/// the same draws as a relabeled block::SampledBlock; this struct is kept
+/// as the thin flat-vector adapter for existing callers.
 struct NeighborhoodSample {
   std::vector<VertexId> roots;
   std::vector<std::vector<VertexId>> hops;  ///< hops[k]: flattened hop-k ids
@@ -209,12 +211,27 @@ class NeighborhoodSampler {
       : strategy_(strategy), rng_(seed) {}
 
   /// Samples the context of `roots` along edges of `type` (pass
-  /// kAllEdgeTypes for type-agnostic neighborhoods). Each hop issues ONE
-  /// NeighborsBatch over the whole frontier instead of per-vertex reads.
-  /// When `pool` is non-null, alias/weighted sampling over the fetched
-  /// spans is parallelized across the pool with per-root RNG streams
-  /// derived from the sampler seed (deterministic for a fixed seed, but a
-  /// different — equally valid — draw than the pool-less sequential path).
+  /// kAllEdgeTypes for type-agnostic neighborhoods) and relabels it into a
+  /// block::SampledBlock: deduplicated frontier with dense local ids plus
+  /// one local-id CSR per hop. Each hop issues ONE NeighborsBatch over the
+  /// whole frontier instead of per-vertex reads. When `pool` is non-null,
+  /// alias/weighted sampling over the fetched spans is parallelized across
+  /// the pool with per-root RNG streams derived from the sampler seed
+  /// (deterministic for a fixed seed, but a different — equally valid —
+  /// draw than the pool-less sequential path). When `features` is non-null
+  /// the block's feature matrix is gathered (once per unique vertex)
+  /// before returning; gather failures under fault injection leave zero
+  /// rows and mark the block partial instead of aborting. The draws are
+  /// identical to Sample's for the same sampler state: both entry points
+  /// share one draw loop.
+  block::SampledBlock SampleBlock(NeighborSource& source,
+                                  std::span<const VertexId> roots,
+                                  EdgeType type,
+                                  std::span<const uint32_t> hop_nums,
+                                  ThreadPool* pool = nullptr,
+                                  block::FeatureSource* features = nullptr);
+
+  /// Legacy flat-vector adapter around the same draw loop as SampleBlock.
   NeighborhoodSample Sample(NeighborSource& source,
                             std::span<const VertexId> roots, EdgeType type,
                             std::span<const uint32_t> hop_nums,
@@ -227,6 +244,15 @@ class NeighborhoodSampler {
   size_t stale_cache_size() const { return stale_cache_.size(); }
 
  private:
+  /// The shared draw loop: one checked batched read + fan draws per hop,
+  /// recording per-hop latency / frontier / fan-out / duplicate-ratio
+  /// observations. Sample returns its result verbatim; SampleBlock
+  /// relabels it.
+  NeighborhoodSample DrawHops(NeighborSource& source,
+                              std::span<const VertexId> roots, EdgeType type,
+                              std::span<const uint32_t> hop_nums,
+                              ThreadPool* pool);
+
   VertexId SampleOne(std::span<const Neighbor> nbs, VertexId fallback,
                      size_t rank, Rng& rng);
 
@@ -257,6 +283,7 @@ class NeighborhoodSampler {
   obs::Histogram* hop_latency_ = nullptr;
   obs::Histogram* frontier_sizes_ = nullptr;
   obs::Histogram* fan_outs_ = nullptr;
+  obs::Histogram* dup_ratio_ = nullptr;
   obs::Counter* degraded_samples_ = nullptr;
 };
 

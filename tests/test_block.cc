@@ -1,0 +1,503 @@
+// Tests for the subgraph-block execution path: SampledBlock relabeling
+// invariants, block-vs-flat draw equivalence, bit-identity of block-based
+// AGGREGATE / COMBINE and of the end-to-end block training path against
+// the legacy map-based path, feature gathering through every source, and
+// full-shape degradation under fault injection.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <unordered_set>
+#include <vector>
+
+#include "algo/gnn.h"
+#include "block/feature_source.h"
+#include "block/sampled_block.h"
+#include "cluster/cluster.h"
+#include "fault/fault_injector.h"
+#include "fault/retry_policy.h"
+#include "gen/taobao.h"
+#include "graph/graph.h"
+#include "obs/metrics.h"
+#include "ops/hop_cache.h"
+#include "ops/operators.h"
+#include "partition/partitioner.h"
+#include "proptest.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace {
+
+std::vector<VertexId> RandomRoots(proptest::PropContext& ctx,
+                                  const AttributedGraph& graph,
+                                  size_t count) {
+  std::vector<VertexId> roots(count);
+  for (VertexId& r : roots) {
+    r = static_cast<VertexId>(ctx.rng.Uniform(graph.num_vertices()));
+  }
+  return roots;
+}
+
+::testing::AssertionResult BitEqual(const nn::Matrix& a,
+                                    const nn::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return ::testing::AssertionFailure()
+           << "shape mismatch: " << a.rows() << "x" << a.cols() << " vs "
+           << b.rows() << "x" << b.cols();
+  }
+  if (a.empty()) return ::testing::AssertionSuccess();
+  if (std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) != 0) {
+    for (size_t r = 0; r < a.rows(); ++r) {
+      for (size_t c = 0; c < a.cols(); ++c) {
+        const float av = a.At(r, c);
+        const float bv = b.At(r, c);
+        if (std::memcmp(&av, &bv, sizeof(float)) != 0) {
+          return ::testing::AssertionFailure()
+                 << "first differing element at (" << r << ", " << c
+                 << "): " << av << " vs " << bv;
+        }
+      }
+    }
+  }
+  return ::testing::AssertionSuccess();
+}
+
+// ---------------------------------------------------------------------------
+// Relabeling invariants.
+
+ALIGRAPH_PROP(BlockProps, RelabelIsBijection, 12) {
+  const AttributedGraph graph = proptest::RandomGraph(ctx);
+  LocalNeighborSource source(graph);
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, ctx.rng.Next());
+  const auto roots = RandomRoots(ctx, graph, 4 + ctx.rng.Uniform(12));
+  const std::vector<uint32_t> fans{
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(5)),
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(4))};
+  const block::SampledBlock blk = sampler.SampleBlock(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  const size_t n = blk.num_vertices();
+  ASSERT_GT(n, 0u);
+  ASSERT_LE(n, blk.total_slots());
+  EXPECT_GE(blk.dedup_ratio(), 1.0);
+
+  // globals() carries each vertex exactly once and the local <-> global
+  // maps are mutually inverse on [0, n).
+  std::unordered_set<VertexId> seen;
+  for (uint32_t local = 0; local < n; ++local) {
+    const VertexId g = blk.global_of(local);
+    EXPECT_TRUE(seen.insert(g).second) << "duplicate global " << g;
+    EXPECT_EQ(blk.local_of(g), local);
+  }
+  EXPECT_EQ(blk.local_of(graph.num_vertices() + 1000),
+            block::SampledBlock::kInvalidLocal);
+
+  // Every slot (roots, CSR dst and src) refers to a valid local id.
+  for (const uint32_t l : blk.root_locals()) EXPECT_LT(l, n);
+  for (const block::BlockHop& hop : blk.hops()) {
+    ASSERT_EQ(hop.offsets.size(), hop.dst.size() + 1);
+    for (size_t r = 0; r + 1 < hop.offsets.size(); ++r) {
+      EXPECT_EQ(hop.offsets[r + 1] - hop.offsets[r], hop.fan);
+    }
+    for (const uint32_t l : hop.dst) EXPECT_LT(l, n);
+    for (const uint32_t l : hop.src) EXPECT_LT(l, n);
+  }
+}
+
+ALIGRAPH_PROP(BlockProps, CsrEdgesExistInGraph, 12) {
+  const AttributedGraph graph = proptest::RandomGraph(ctx);
+  LocalNeighborSource source(graph);
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, ctx.rng.Next());
+  const auto roots = RandomRoots(ctx, graph, 4 + ctx.rng.Uniform(12));
+  const std::vector<uint32_t> fans{
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(5)),
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(4))};
+  const block::SampledBlock blk = sampler.SampleBlock(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  // Each CSR edge (dst slot r -> src e) must be a real out-edge of the
+  // vertex occupying the slot; vertices with no suitable neighbor repeat
+  // themselves (the shape-preserving fallback), so src == dst is also
+  // legal — but only when it actually is the fallback or a real self-loop.
+  for (const block::BlockHop& hop : blk.hops()) {
+    for (size_t r = 0; r < hop.num_dst(); ++r) {
+      const VertexId from = blk.global_of(hop.dst[r]);
+      std::unordered_set<VertexId> adjacency;
+      for (const Neighbor& nb : graph.OutNeighbors(from)) {
+        adjacency.insert(nb.dst);
+      }
+      for (uint32_t e = hop.offsets[r]; e < hop.offsets[r + 1]; ++e) {
+        const VertexId to = blk.global_of(hop.src[e]);
+        EXPECT_TRUE(adjacency.count(to) > 0 ||
+                    (to == from && adjacency.empty()))
+            << "edge " << from << " -> " << to
+            << " is neither a graph edge nor the empty-adjacency fallback";
+      }
+    }
+  }
+}
+
+ALIGRAPH_PROP(BlockProps, BlockMatchesFlatDraws, 12) {
+  const AttributedGraph graph = proptest::RandomGraph(ctx);
+  LocalNeighborSource source_a(graph);
+  LocalNeighborSource source_b(graph);
+  const uint64_t seed = ctx.rng.Next();
+  NeighborhoodSampler flat_sampler(NeighborStrategy::kUniform, seed);
+  NeighborhoodSampler block_sampler(NeighborStrategy::kUniform, seed);
+  const auto roots = RandomRoots(ctx, graph, 4 + ctx.rng.Uniform(12));
+  const std::vector<uint32_t> fans{
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(5)),
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(4))};
+
+  const NeighborhoodSample flat = flat_sampler.Sample(
+      source_a, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+  const block::SampledBlock blk = block_sampler.SampleBlock(
+      source_b, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  // Same seed, same draws: the block is the flat sample relabeled.
+  ASSERT_EQ(blk.root_locals().size(), roots.size());
+  for (size_t i = 0; i < roots.size(); ++i) {
+    EXPECT_EQ(blk.global_of(blk.root_locals()[i]), roots[i]);
+  }
+  ASSERT_EQ(blk.hops().size(), flat.hops.size());
+  for (size_t k = 0; k < flat.hops.size(); ++k) {
+    const block::BlockHop& hop = blk.hops()[k];
+    ASSERT_EQ(hop.src.size(), flat.hops[k].size());
+    for (size_t s = 0; s < hop.src.size(); ++s) {
+      EXPECT_EQ(blk.global_of(hop.src[s]), flat.hops[k][s]);
+    }
+    // Level k's destinations are level k-1's slots, in slot order.
+    const std::vector<uint32_t>& prev =
+        k == 0 ? std::vector<uint32_t>(blk.root_locals().begin(),
+                                       blk.root_locals().end())
+               : blk.hops()[k - 1].src;
+    ASSERT_EQ(hop.dst.size(), prev.size());
+    for (size_t s = 0; s < prev.size(); ++s) {
+      EXPECT_EQ(hop.dst[s], prev[s]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Operator bit-identity: block CSR-indexed AGGREGATE / COMBINE against the
+// legacy per-slot materialized path, forward and backward.
+
+ALIGRAPH_PROP(BlockProps, AggregatorsBitIdenticalToLegacy, 8) {
+  const AttributedGraph graph = proptest::RandomGraph(ctx);
+  LocalNeighborSource source(graph);
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, ctx.rng.Next());
+  const auto roots = RandomRoots(ctx, graph, 4 + ctx.rng.Uniform(8));
+  const std::vector<uint32_t> fans{
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(4)),
+      static_cast<uint32_t>(1 + ctx.rng.Uniform(3))};
+  const block::SampledBlock blk = sampler.SampleBlock(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  const size_t d = 8;
+  Rng mrng(ctx.rng.Next());
+  const nn::Matrix rows =
+      nn::Matrix::Gaussian(blk.num_vertices(), d, 1.0f, mrng);
+
+  for (const char* name : {"mean", "sum", "maxpool"}) {
+    for (const block::BlockHop& hop : blk.hops()) {
+      auto legacy = ops::MakeAggregator(name);
+      auto blocked = ops::MakeAggregator(name);
+
+      // Legacy path: materialize one row per slot, then aggregate.
+      const nn::Matrix neighbors = block::GatherRows(rows, hop.src);
+      const nn::Matrix out_legacy = legacy->Forward(neighbors, hop.fan);
+      const nn::Matrix out_block = blocked->ForwardBlock(rows, hop);
+      EXPECT_TRUE(BitEqual(out_legacy, out_block)) << name << " forward";
+
+      const nn::Matrix grad_out =
+          nn::Matrix::Gaussian(hop.num_dst(), d, 1.0f, mrng);
+      const nn::Matrix grad_legacy = legacy->Backward(grad_out);
+      const nn::Matrix grad_block =
+          blocked->BackwardBlock(grad_out, blk.num_vertices());
+
+      // The block backward is the legacy per-slot gradient accumulated per
+      // unique vertex in slot order.
+      nn::Matrix accumulated(blk.num_vertices(), d);
+      for (size_t e = 0; e < hop.src.size(); ++e) {
+        for (size_t j = 0; j < d; ++j) {
+          accumulated.At(hop.src[e], j) += grad_legacy.At(e, j);
+        }
+      }
+      EXPECT_TRUE(BitEqual(accumulated, grad_block)) << name << " backward";
+    }
+  }
+
+  // COMBINE: the block entry point gathers self rows from dst slots and
+  // must match the legacy call on the materialized self matrix.
+  Rng crng(42);
+  ops::ConcatCombiner combiner(d, d, crng);
+  const block::BlockHop& hop = blk.hops()[0];
+  ops::MeanAggregator agg;
+  const nn::Matrix aggregated = agg.ForwardBlock(rows, hop);
+  const nn::Matrix self = block::GatherRows(rows, hop.dst);
+  Rng crng2(42);
+  ops::ConcatCombiner combiner2(d, d, crng2);
+  EXPECT_TRUE(BitEqual(combiner.Forward(self, aggregated),
+                       combiner2.ForwardBlock(rows, hop, aggregated)));
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end differentials: the block execution path must reproduce the
+// legacy map-based path bit for bit on the same RNG seed.
+
+algo::GnnConfig SmallConfig(const std::string& aggregator) {
+  algo::GnnConfig config;
+  config.dim = 8;
+  config.feature_dim = 8;
+  config.fanout1 = 3;
+  config.fanout2 = 2;
+  config.epochs = 1;
+  config.batch_size = 8;
+  config.batches_per_epoch = 6;
+  config.aggregator = aggregator;
+  config.seed = 77;
+  return config;
+}
+
+AttributedGraph SmallTaobao() {
+  auto graph = gen::Taobao(gen::TaobaoSmallConfig(0.05));
+  ALIGRAPH_CHECK(graph.ok()) << graph.status().ToString();
+  return std::move(*graph);
+}
+
+TEST(BlockDifferentialTest, GraphSageMeanBitIdenticalToLegacy) {
+  const AttributedGraph graph = SmallTaobao();
+  algo::GnnConfig block_config = SmallConfig("mean");
+  block_config.use_blocks = true;
+  algo::GnnConfig legacy_config = SmallConfig("mean");
+  legacy_config.use_blocks = false;
+
+  auto with_blocks = algo::GraphSage(block_config).Embed(graph);
+  auto legacy = algo::GraphSage(legacy_config).Embed(graph);
+  ASSERT_TRUE(with_blocks.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(BitEqual(*with_blocks, *legacy));
+}
+
+TEST(BlockDifferentialTest, GraphSageMaxPoolBitIdenticalToLegacy) {
+  const AttributedGraph graph = SmallTaobao();
+  algo::GnnConfig block_config = SmallConfig("maxpool");
+  block_config.use_blocks = true;
+  algo::GnnConfig legacy_config = SmallConfig("maxpool");
+  legacy_config.use_blocks = false;
+
+  auto with_blocks = algo::GraphSage(block_config).Embed(graph);
+  auto legacy = algo::GraphSage(legacy_config).Embed(graph);
+  ASSERT_TRUE(with_blocks.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(BitEqual(*with_blocks, *legacy));
+}
+
+TEST(BlockDifferentialTest, GcnFullBitIdenticalToLegacy) {
+  const AttributedGraph graph = SmallTaobao();
+  algo::Gcn::Config config;
+  config.base = SmallConfig("mean");
+  config.mode = algo::GcnMode::kFull;
+
+  config.base.use_blocks = true;
+  auto with_blocks = algo::Gcn(config).Embed(graph);
+  config.base.use_blocks = false;
+  auto legacy = algo::Gcn(config).Embed(graph);
+  ASSERT_TRUE(with_blocks.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(BitEqual(*with_blocks, *legacy));
+}
+
+TEST(BlockDifferentialTest, FastGcnBitIdenticalToLegacy) {
+  const AttributedGraph graph = SmallTaobao();
+  algo::Gcn::Config config;
+  config.base = SmallConfig("mean");
+  config.mode = algo::GcnMode::kFastGcn;
+  config.layer_samples = 64;
+
+  config.base.use_blocks = true;
+  auto with_blocks = algo::Gcn(config).Embed(graph);
+  config.base.use_blocks = false;
+  auto legacy = algo::Gcn(config).Embed(graph);
+  ASSERT_TRUE(with_blocks.ok());
+  ASSERT_TRUE(legacy.ok());
+  EXPECT_TRUE(BitEqual(*with_blocks, *legacy));
+}
+
+// ---------------------------------------------------------------------------
+// Feature sources.
+
+TEST(BlockFeatureSourceTest, ClusterGatherMatchesPerVertexPayloads) {
+  const AttributedGraph graph = SmallTaobao();
+  auto cluster =
+      std::move(Cluster::Build(graph, EdgeCutPartitioner(), 3)).value();
+  const size_t dim = 12;
+  CommStats stats;
+  block::ClusterFeatureSource source(cluster, /*worker=*/0, dim, &stats);
+
+  std::vector<VertexId> vertices;
+  for (VertexId v = 0; v < graph.num_vertices() && vertices.size() < 64;
+       v += 7) {
+    vertices.push_back(v);
+  }
+  nn::Matrix out(vertices.size(), dim);
+  ASSERT_TRUE(source.Gather(vertices, &out).ok());
+
+  // Row i is vertex i's raw attribute payload, zero-padded / truncated.
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    const auto payload = graph.VertexFeatures(vertices[i]);
+    for (size_t j = 0; j < dim; ++j) {
+      const float expected = j < payload.size() ? payload[j] : 0.0f;
+      EXPECT_EQ(out.At(i, j), expected) << "vertex " << vertices[i];
+    }
+  }
+
+  // The gather coalesced: at most one message per destination worker, and
+  // the remote residue traveled batched rather than as per-vertex RPCs.
+  EXPECT_LE(stats.remote_batches.load(), 2u);
+  EXPECT_GT(stats.batched_remote_reads.load(), 0u);
+  EXPECT_EQ(stats.batched_remote_reads.load(), stats.remote_reads.load());
+}
+
+TEST(BlockFeatureSourceTest, GraphAndMatrixSourcesAgree) {
+  const AttributedGraph graph = SmallTaobao();
+  const size_t dim = 8;
+  block::GraphFeatureSource graph_source(graph, dim);
+
+  nn::Matrix table(graph.num_vertices(), dim);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    const auto payload = graph.VertexFeatures(v);
+    for (size_t j = 0; j < dim && j < payload.size(); ++j) {
+      table.At(v, j) = payload[j];
+    }
+  }
+  block::MatrixFeatureSource matrix_source(table);
+
+  std::vector<VertexId> vertices{0, 5, 9, 5, 33};
+  nn::Matrix a(vertices.size(), dim);
+  nn::Matrix b(vertices.size(), dim);
+  ASSERT_TRUE(graph_source.Gather(vertices, &a).ok());
+  ASSERT_TRUE(matrix_source.Gather(vertices, &b).ok());
+  EXPECT_TRUE(BitEqual(a, b));
+}
+
+// ---------------------------------------------------------------------------
+// Fault degradation: failed reads must never change the block's shape.
+
+TEST(BlockFaultTest, DegradedSampleKeepsFullShape) {
+  const AttributedGraph graph = SmallTaobao();
+  auto cluster =
+      std::move(Cluster::Build(graph, EdgeCutPartitioner(), 2)).value();
+
+  // Every request to worker 1 fails more attempts than the policy allows:
+  // all remote reads to it degrade permanently.
+  FaultConfig fault;
+  fault.seed = 13;
+  fault.schedule.push_back(
+      {/*worker=*/1, FaultKind::kTransient, /*fail_first_attempts=*/99});
+  RetryPolicy policy;
+  policy.max_attempts = 2;
+  cluster.InstallFaultInjection(fault, policy);
+
+  CommStats stats;
+  DistributedNeighborSource source(cluster, /*worker=*/0, &stats);
+  block::ClusterFeatureSource features(cluster, /*worker=*/0, /*dim=*/8,
+                                       &stats);
+
+  std::vector<VertexId> roots;
+  for (VertexId v = 0; v < graph.num_vertices() && roots.size() < 16; ++v) {
+    if (cluster.OwnerOf(v) == 0) roots.push_back(v);
+  }
+  ASSERT_EQ(roots.size(), 16u);
+
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, 5);
+  const std::vector<uint32_t> fans{4, 3};
+  const block::SampledBlock blk =
+      sampler.SampleBlock(source, roots, NeighborhoodSampler::kAllEdgeTypes,
+                          fans, /*pool=*/nullptr, &features);
+
+  // Shapes are exactly what an un-faulted run would produce.
+  ASSERT_EQ(blk.hops().size(), 2u);
+  EXPECT_EQ(blk.hops()[0].src.size(), roots.size() * 4);
+  EXPECT_EQ(blk.hops()[1].src.size(), roots.size() * 4 * 3);
+  EXPECT_EQ(blk.hops()[1].dst.size(), roots.size() * 4);
+  EXPECT_EQ(blk.features().rows(), blk.num_vertices());
+  EXPECT_EQ(blk.features().cols(), 8u);
+
+  // And the degradation was recorded rather than hidden.
+  EXPECT_TRUE(blk.partial());
+  EXPECT_GT(blk.degraded_draws(), 0u);
+  EXPECT_GT(stats.failed_reads.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Observability: duplicate-ratio histogram, dedup gauge, gather counter,
+// cross-batch row reuse.
+
+TEST(BlockObsTest, SamplerAndBlockMetricsRecorded) {
+  obs::MetricsRegistry registry;
+  obs::SetDefault(&registry);
+
+  const AttributedGraph graph = SmallTaobao();
+  LocalNeighborSource source(graph);
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, 3);
+  // Duplicate-heavy roots so the duplicate ratio is well above 1.
+  const std::vector<VertexId> roots{0, 0, 0, 0, 1, 1, 1, 1};
+  const std::vector<uint32_t> fans{4, 2};
+  block::GraphFeatureSource features(graph, /*dim=*/8);
+  const block::SampledBlock blk =
+      sampler.SampleBlock(source, roots, NeighborhoodSampler::kAllEdgeTypes,
+                          fans, /*pool=*/nullptr, &features);
+
+  EXPECT_GT(
+      registry.GetHistogram("sample.frontier_dup_ratio", obs::SizeBounds())
+          ->Count(),
+      0u);
+  EXPECT_GT(registry.GetHistogram("block.build_us", obs::LatencyBoundsUs())
+                ->Count(),
+            0u);
+  EXPECT_DOUBLE_EQ(registry.GetGauge("block.dedup_ratio")->Value(),
+                   blk.dedup_ratio());
+  EXPECT_EQ(registry.GetCounter("block.gather_bytes")->Value(),
+            blk.num_vertices() * 8 * sizeof(float));
+
+  obs::SetDefault(nullptr);
+}
+
+TEST(BlockObsTest, HopCacheReusesRowsAcrossBatches) {
+  obs::MetricsRegistry registry;
+  obs::SetDefault(&registry);
+
+  const size_t dim = 4;
+  ops::HopEmbeddingCache cache(dim);
+  const std::vector<VertexId> first{10, 20, 30};
+  nn::Matrix rows(first.size(), dim);
+  for (size_t i = 0; i < first.size(); ++i) rows.Row(i)[0] = float(i + 1);
+  cache.InsertRows(/*hop=*/0, first, rows);
+
+  // Second batch overlaps the first on {20, 30}: those rows come back from
+  // the cache and are counted as reused.
+  const std::vector<VertexId> second{20, 30, 40};
+  nn::Matrix out(second.size(), dim);
+  std::vector<uint8_t> present;
+  const size_t found = cache.LookupRows(0, second, &out, &present);
+  EXPECT_EQ(found, 2u);
+  EXPECT_EQ(present, (std::vector<uint8_t>{1, 1, 0}));
+  EXPECT_EQ(out.At(0, 0), 2.0f);
+  EXPECT_EQ(out.At(1, 0), 3.0f);
+  EXPECT_EQ(out.At(2, 0), 0.0f);
+  EXPECT_EQ(registry.GetCounter("block.reused_rows")->Value(), 2u);
+
+  // InsertRows with the present mask only admits the missing slot.
+  out.At(2, 0) = 7.0f;
+  cache.InsertRows(0, second, out, &present);
+  nn::Matrix again(1, dim);
+  std::vector<uint8_t> p2;
+  EXPECT_EQ(cache.LookupRows(0, std::vector<VertexId>{40}, &again, &p2), 1u);
+  EXPECT_EQ(again.At(0, 0), 7.0f);
+
+  obs::SetDefault(nullptr);
+}
+
+}  // namespace
+}  // namespace aligraph
