@@ -14,19 +14,25 @@
 #include <string>
 #include <vector>
 
+#include "common/build_info.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 
 namespace aligraph {
 namespace bench {
 
-/// Parses --scale=<double> (default 1.0), --seed=<uint64> and
-/// --out=<dir> (run-report directory, default bench/out) from argv.
+/// Parses --scale=<double> (default 1.0), --seed=<uint64>,
+/// --out=<dir> (run-report directory, default bench/out) and
+/// --trace-out[=<path>] (Chrome trace_event JSON; the bare flag defaults
+/// the path to <out_dir>/<name>.trace.json) from argv.
 struct BenchArgs {
   double scale = 1.0;
   uint64_t seed = 1;
   std::string out_dir = "bench/out";
+  bool trace_requested = false;
+  std::string trace_out_path;  ///< empty = default to <out_dir>/<name>
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
@@ -37,6 +43,11 @@ struct BenchArgs {
         args.seed = std::strtoull(argv[i] + 7, nullptr, 10);
       } else if (std::strncmp(argv[i], "--out=", 6) == 0) {
         args.out_dir = argv[i] + 6;
+      } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+        args.trace_requested = true;
+        args.trace_out_path = argv[i] + 12;
+      } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+        args.trace_requested = true;
       }
     }
     return args;
@@ -82,6 +93,14 @@ class ObsBench {
     obs::SetDefaultTracer(&tracer_);
     report_.AddMeta("scale", args.scale);
     report_.AddMeta("seed", static_cast<double>(args.seed));
+    report_.SetBuildInfo(BuildGitSha(), BuildCompilerId(), BuildType());
+    std::printf("build: %s | %s | %s\n", BuildGitSha(), BuildCompilerId(),
+                BuildType());
+    if (args.trace_requested) {
+      trace_path_ = args.trace_out_path.empty()
+                        ? out_dir_ + "/" + report_.name() + ".trace.json"
+                        : args.trace_out_path;
+    }
   }
 
   ~ObsBench() {
@@ -110,6 +129,9 @@ class ObsBench {
 
   /// Snapshots metrics + span aggregates into the report and writes
   /// <out_dir>/<name>.json, printing the path (or the error) to stdout.
+  /// With --trace-out, also exports the causally-linked span events as
+  /// Chrome trace_event JSON and prints the slowest request's critical
+  /// path. Call at a quiescent point (all instrumented work finished).
   void WriteReport() {
     report_.AttachMetrics(registry_.Snapshot());
     report_.AttachSpans(tracer_.Aggregate());
@@ -120,13 +142,45 @@ class ObsBench {
     } else {
       std::printf("\nrun report FAILED: %s\n", st.ToString().c_str());
     }
+    if (!trace_path_.empty()) WriteTrace();
   }
 
  private:
+  void WriteTrace() {
+    const std::vector<obs::SpanEvent> events = tracer_.Events();
+    const Status st = obs::WriteChromeTrace(events, trace_path_);
+    if (!st.ok()) {
+      std::printf("trace export FAILED: %s\n", st.ToString().c_str());
+      return;
+    }
+    const obs::TraceForest forest = obs::AssembleTraces(events);
+    std::printf("trace: %s (%zu events, %zu traces, %llu orphans, "
+                "%llu untraced)\n",
+                trace_path_.c_str(), events.size(), forest.traces.size(),
+                static_cast<unsigned long long>(forest.orphan_spans),
+                static_cast<unsigned long long>(forest.untraced_spans));
+    // The slowest request is where a latency investigation starts; print
+    // its longest blocking chain.
+    const obs::TraceTree* slowest = nullptr;
+    for (const obs::TraceTree& tree : forest.traces) {
+      if (tree.nodes.size() < 2) continue;  // standalone helper spans
+      if (slowest == nullptr ||
+          tree.duration_us() > slowest->duration_us()) {
+        slowest = &tree;
+      }
+    }
+    if (slowest != nullptr) {
+      std::printf("slowest request: %s\n%s\n",
+                  slowest->root_event().name.c_str(),
+                  obs::ComputeCriticalPath(*slowest).ToString().c_str());
+    }
+  }
+
   obs::MetricsRegistry registry_;
   obs::Tracer tracer_;
   obs::RunReport report_;
   std::string out_dir_;
+  std::string trace_path_;
 };
 
 }  // namespace bench

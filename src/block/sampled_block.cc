@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/timer.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aligraph {
 namespace block {
@@ -76,6 +77,7 @@ double SampledBlock::dedup_ratio() const {
 }
 
 Status SampledBlock::GatherFeatures(FeatureSource& source) {
+  obs::ScopedSpan span("block/gather");
   features_ = nn::Matrix(globals_.size(), source.dim());
   std::vector<uint8_t> ok;
   const Status st = source.Gather(globals_, &features_, &ok);

@@ -230,6 +230,9 @@ bool Cluster::RemoteRequestSucceeds(WorkerId from, WorkerId to,
       // Past the deadline there is no point sending another message.
       if (elapsed_us > policy.deadline_us) break;
       ++retries;
+      // One span per resent message, so a degraded draw's timeline shows
+      // each attempt nested under cluster/retry.
+      obs::ScopedSpan attempt_span("cluster/retry_attempt");
       d = injector_->Decide(from, to, request_key, attempt);
       if (stats != nullptr && d.kind != FaultKind::kNone) {
         stats->faults_injected.fetch_add(1);
@@ -529,9 +532,17 @@ Status Cluster::GetNeighborsBatchImpl(WorkerId from,
     for (WorkerRequest& req : requests) {
       req.response.resize(req.vertices->size());
       auto op = [this, &req, &pending] {
-        const GraphServer& srv = *servers_[req.worker];
-        for (size_t j = 0; j < req.vertices->size(); ++j) {
-          req.response[j] = srv.Neighbors((*req.vertices)[j]);
+        {
+          // Recorded on the consumer thread; parents under
+          // cluster/batch_read via the context the executor adopted at
+          // submission. Scoped so the record is published before `pending`
+          // drops — callers reading Events() right after the batch returns
+          // are guaranteed to see it.
+          obs::ScopedSpan serve_span("cluster/remote_serve");
+          const GraphServer& srv = *servers_[req.worker];
+          for (size_t j = 0; j < req.vertices->size(); ++j) {
+            req.response[j] = srv.Neighbors((*req.vertices)[j]);
+          }
         }
         pending.fetch_sub(1, std::memory_order_release);
       };

@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace aligraph {
 
@@ -44,6 +45,16 @@ BucketExecutor::~BucketExecutor() {
 }
 
 Status BucketExecutor::TrySubmit(uint64_t group, Op op) {
+  // Cross-thread causal handoff: the consumer thread adopts the submitter's
+  // trace context, so spans inside the op parent under the submitting span
+  // instead of losing parentage at the ring boundary.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace_id != 0) {
+    op = [ctx, inner = std::move(op)] {
+      obs::ScopedTraceContext adopt(ctx);
+      inner();
+    };
+  }
   const size_t index = group % buckets_.size();
   Bucket& bucket = *buckets_[index];
   submitted_.fetch_add(1, std::memory_order_relaxed);

@@ -1,0 +1,40 @@
+#include "common/build_info.h"
+
+namespace aligraph {
+
+namespace {
+
+#define ALIGRAPH_STR_INNER(x) #x
+#define ALIGRAPH_STR(x) ALIGRAPH_STR_INNER(x)
+
+}  // namespace
+
+const char* BuildGitSha() {
+#ifdef ALIGRAPH_GIT_SHA
+  return ALIGRAPH_STR(ALIGRAPH_GIT_SHA);
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildCompilerId() {
+#if defined(__clang_version__)
+  return "clang " __clang_version__;
+#elif defined(__GNUC__) && defined(__VERSION__)
+  return "gcc " __VERSION__;
+#elif defined(__VERSION__)
+  return __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+const char* BuildType() {
+#ifdef ALIGRAPH_BUILD_TYPE
+  return ALIGRAPH_STR(ALIGRAPH_BUILD_TYPE);
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace aligraph

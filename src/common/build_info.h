@@ -1,0 +1,29 @@
+/// \file build_info.h
+/// \brief Identity of the running binary: git SHA, compiler, build type.
+///
+/// Run reports embed these so a bench JSON is attributable to the exact
+/// build that produced it — the regression gate compares numbers across
+/// commits, and a diff without provenance is noise. Values degrade to
+/// "unknown" when the build system could not determine them (tarball
+/// builds, exotic compilers), never to an empty string.
+
+#ifndef ALIGRAPH_COMMON_BUILD_INFO_H_
+#define ALIGRAPH_COMMON_BUILD_INFO_H_
+
+namespace aligraph {
+
+/// Abbreviated git commit SHA the binary was configured from (CMake runs
+/// `git rev-parse` at configure time), or "unknown" outside a checkout.
+const char* BuildGitSha();
+
+/// Compiler name and version string, e.g. "gcc 13.2.0" or
+/// "clang 17.0.6 ...".
+const char* BuildCompilerId();
+
+/// CMAKE_BUILD_TYPE of this binary ("RelWithDebInfo", "Debug", ...), or
+/// "unknown" when built without CMake.
+const char* BuildType();
+
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_COMMON_BUILD_INFO_H_

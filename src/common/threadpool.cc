@@ -4,6 +4,7 @@
 #include <atomic>
 
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace aligraph {
 
@@ -25,6 +26,16 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  // Cross-thread causal handoff: capture the submitter's trace context so
+  // spans the task opens on a worker thread parent under the submitting
+  // span instead of minting disconnected root traces.
+  const obs::TraceContext ctx = obs::CurrentTraceContext();
+  if (ctx.trace_id != 0) {
+    task = [ctx, inner = std::move(task)] {
+      obs::ScopedTraceContext adopt(ctx);
+      inner();
+    };
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
@@ -44,6 +55,9 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   std::atomic<size_t> next{0};
   for (size_t w = 0; w < workers; ++w) {
     Submit([&next, n, chunk, &fn] {
+      // One span per worker task (not per index): visible in the timeline
+      // without flooding the span rings at large n.
+      obs::ScopedSpan span("pool/parallel_for");
       while (true) {
         const size_t begin = next.fetch_add(chunk);
         if (begin >= n) break;

@@ -1,0 +1,135 @@
+#include "obs/compare.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace aligraph {
+namespace obs {
+
+double MetricResult::RelativeDelta() const {
+  if (baseline == 0) return 0;
+  return candidate / baseline - 1.0;
+}
+
+namespace {
+
+const char* VerdictLabel(MetricVerdict v) {
+  switch (v) {
+    case MetricVerdict::kPass: return "ok";
+    case MetricVerdict::kImproved: return "improved";
+    case MetricVerdict::kRegressed: return "REGRESSED";
+    case MetricVerdict::kMissing: return "MISSING";
+  }
+  return "?";
+}
+
+}  // namespace
+
+std::string CompareResult::ToString() const {
+  // Failures first, then the largest movers, so the gate's one-screen
+  // output leads with what broke.
+  std::vector<const MetricResult*> order;
+  order.reserve(metrics.size());
+  for (const MetricResult& m : metrics) order.push_back(&m);
+  std::sort(order.begin(), order.end(),
+            [](const MetricResult* a, const MetricResult* b) {
+              const bool a_bad = a->verdict == MetricVerdict::kRegressed ||
+                                 a->verdict == MetricVerdict::kMissing;
+              const bool b_bad = b->verdict == MetricVerdict::kRegressed ||
+                                 b->verdict == MetricVerdict::kMissing;
+              if (a_bad != b_bad) return a_bad;
+              return std::abs(a->RelativeDelta()) >
+                     std::abs(b->RelativeDelta());
+            });
+  std::ostringstream os;
+  char buf[160];
+  for (const MetricResult* m : order) {
+    if (m->verdict == MetricVerdict::kMissing) {
+      std::snprintf(buf, sizeof(buf),
+                    "%-48s baseline=%-12.6g absent from candidate  %s",
+                    m->name.c_str(), m->baseline, VerdictLabel(m->verdict));
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%-48s baseline=%-12.6g candidate=%-12.6g %+7.2f%% "
+                    "(tol %.0f%%)  %s",
+                    m->name.c_str(), m->baseline, m->candidate,
+                    100.0 * m->RelativeDelta(), 100.0 * m->tolerance,
+                    VerdictLabel(m->verdict));
+    }
+    os << buf << "\n";
+  }
+  std::snprintf(buf, sizeof(buf),
+                "%zu metric(s): %zu regressed, %zu missing, %zu improved",
+                metrics.size(), regressed, missing, improved);
+  os << buf;
+  return os.str();
+}
+
+Result<CompareResult> CompareReports(const JsonValue& baseline,
+                                     const JsonValue& candidate,
+                                     const CompareOptions& options) {
+  const JsonValue* base_metrics = baseline.Find("metrics");
+  if (base_metrics == nullptr || !base_metrics->IsObject()) {
+    return Status::InvalidArgument("baseline has no \"metrics\" object");
+  }
+  const JsonValue* cand_metrics = candidate.Find("metrics");
+  if (cand_metrics == nullptr || !cand_metrics->IsObject()) {
+    return Status::InvalidArgument("candidate has no \"metrics\" object");
+  }
+
+  CompareResult result;
+  for (const auto& [name, value] : base_metrics->members) {
+    if (!value.IsNumber()) {
+      return Status::InvalidArgument("baseline metric \"" + name +
+                                     "\" is not a number");
+    }
+    MetricResult m;
+    m.name = name;
+    m.baseline = value.number;
+    auto tol = options.per_metric_tolerance.find(name);
+    m.tolerance = tol == options.per_metric_tolerance.end()
+                      ? options.default_tolerance
+                      : tol->second;
+
+    const JsonValue* cand = cand_metrics->Find(name);
+    if (cand == nullptr || !cand->IsNumber()) {
+      m.verdict = MetricVerdict::kMissing;
+      ++result.missing;
+      result.metrics.push_back(std::move(m));
+      continue;
+    }
+    m.candidate = cand->number;
+    const double bound =
+        m.baseline * (1.0 + m.tolerance) + options.absolute_slack;
+    if (m.candidate > bound) {
+      m.verdict = MetricVerdict::kRegressed;
+      ++result.regressed;
+    } else if (m.candidate < m.baseline) {
+      m.verdict = MetricVerdict::kImproved;
+      ++result.improved;
+    }
+    result.metrics.push_back(std::move(m));
+  }
+  return result;
+}
+
+Result<CompareResult> CompareReportJson(const std::string& baseline_json,
+                                        const std::string& candidate_json,
+                                        const CompareOptions& options) {
+  auto base = JsonValue::Parse(baseline_json);
+  if (!base.ok()) {
+    return Status::InvalidArgument("baseline: " +
+                                   base.status().ToString());
+  }
+  auto cand = JsonValue::Parse(candidate_json);
+  if (!cand.ok()) {
+    return Status::InvalidArgument("candidate: " +
+                                   cand.status().ToString());
+  }
+  return CompareReports(*base, *cand, options);
+}
+
+}  // namespace obs
+}  // namespace aligraph

@@ -1,0 +1,82 @@
+/// \file compare.h
+/// \brief Bench regression gate: diff a candidate run report against a
+/// committed baseline with per-metric tolerance thresholds.
+///
+/// The gate walks the BASELINE's "metrics" object — the baseline defines
+/// the contract; extra candidate metrics (wall-clock numbers, new
+/// experiments) are ignored so only the deterministic modeled-time metrics
+/// need committing. Metrics are lower-is-better: a candidate value above
+/// baseline * (1 + tolerance) + slack is a regression, below is an
+/// improvement (reported, never fatal). A metric present in the baseline
+/// but missing from the candidate fails the gate — silently dropping a
+/// guarded number must not pass CI.
+
+#ifndef ALIGRAPH_OBS_COMPARE_H_
+#define ALIGRAPH_OBS_COMPARE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/report.h"
+
+namespace aligraph {
+namespace obs {
+
+/// \brief Gate thresholds.
+struct CompareOptions {
+  /// Allowed relative increase over baseline (0.10 = +10%).
+  double default_tolerance = 0.10;
+  /// Absolute slack added on top of the relative bound, so near-zero
+  /// baselines do not fail on sub-measurement-noise deltas.
+  double absolute_slack = 1e-6;
+  /// Per-metric overrides of default_tolerance, keyed by metric name.
+  std::map<std::string, double> per_metric_tolerance;
+};
+
+enum class MetricVerdict { kPass, kImproved, kRegressed, kMissing };
+
+/// \brief One metric's comparison.
+struct MetricResult {
+  std::string name;
+  double baseline = 0;
+  double candidate = 0;     ///< undefined when verdict == kMissing
+  double tolerance = 0;     ///< the bound applied to this metric
+  MetricVerdict verdict = MetricVerdict::kPass;
+
+  /// Signed relative change, candidate/baseline - 1 (0 for zero baseline).
+  double RelativeDelta() const;
+};
+
+/// \brief Full gate outcome over every baseline metric.
+struct CompareResult {
+  std::vector<MetricResult> metrics;  ///< baseline order (sorted names)
+  size_t regressed = 0;
+  size_t missing = 0;
+  size_t improved = 0;
+
+  /// True when nothing regressed and nothing was missing.
+  bool ok() const { return regressed == 0 && missing == 0; }
+
+  /// Human-readable table of every metric with verdicts, worst first.
+  std::string ToString() const;
+};
+
+/// Compares the "metrics" objects of two parsed run reports. Returns
+/// InvalidArgument when either document lacks a "metrics" object or a
+/// baseline metric is not a number — a malformed baseline must fail loudly,
+/// not pass vacuously.
+Result<CompareResult> CompareReports(const JsonValue& baseline,
+                                     const JsonValue& candidate,
+                                     const CompareOptions& options = {});
+
+/// Convenience: parse both JSON documents, then CompareReports.
+Result<CompareResult> CompareReportJson(const std::string& baseline_json,
+                                        const std::string& candidate_json,
+                                        const CompareOptions& options = {});
+
+}  // namespace obs
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_OBS_COMPARE_H_

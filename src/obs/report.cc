@@ -1,5 +1,6 @@
 #include "obs/report.h"
 
+#include <algorithm>
 #include <cctype>
 #include <cmath>
 #include <cstdio>
@@ -355,6 +356,15 @@ void RunReport::AddMeta(const std::string& key, double value) {
   meta_numbers_.emplace_back(key, value);
 }
 
+void RunReport::SetBuildInfo(const std::string& git_sha,
+                             const std::string& compiler,
+                             const std::string& build_type) {
+  build_info_.clear();
+  build_info_.emplace_back("git_sha", git_sha);
+  build_info_.emplace_back("compiler", compiler);
+  build_info_.emplace_back("build_type", build_type);
+}
+
 void RunReport::AddMetric(const std::string& name, double value) {
   metrics_.emplace_back(name, value);
 }
@@ -383,13 +393,22 @@ std::string RunReport::ToJson() const {
   w.Key("schema_version").Value(static_cast<uint64_t>(1));
   w.Key("name").Value(name_);
 
+  w.Key("build").BeginObject();
+  for (const auto& [k, v] : build_info_) w.Key(k).Value(v);
+  w.EndObject();
+
   w.Key("meta").BeginObject();
   for (const auto& [k, v] : meta_strings_) w.Key(k).Value(v);
   for (const auto& [k, v] : meta_numbers_) w.Key(k).Value(v);
   w.EndObject();
 
+  // Sorted so identical runs serialize byte-identically regardless of the
+  // order the bench recorded its headline numbers in.
+  std::vector<std::pair<std::string, double>> metrics = metrics_;
+  std::sort(metrics.begin(), metrics.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
   w.Key("metrics").BeginObject();
-  for (const auto& [k, v] : metrics_) w.Key(k).Value(v);
+  for (const auto& [k, v] : metrics) w.Key(k).Value(v);
   w.EndObject();
 
   w.Key("counters").BeginObject();

@@ -15,12 +15,15 @@
 /// Schema (stable, versioned by "schema_version"):
 /// {
 ///   "schema_version": 1, "name": "...",
+///   "build": {"git_sha":"...","compiler":"...","build_type":"..."},
 ///   "meta": {...}, "metrics": {...},
 ///   "counters": {...}, "gauges": {...},
 ///   "histograms": {"h": {"count":N,"sum":S,"bounds":[...],"counts":[...]}},
 ///   "spans": {"s": {"count":N,"total_us":T,"min_us":m,"max_us":M,"depth":d}},
 ///   "tables": [{"name":"...","columns":[...],"rows":[[...],...]}]
 /// }
+/// "metrics" keys are emitted sorted by name so two reports of the same run
+/// diff cleanly and the regression gate's walk order is stable.
 
 #ifndef ALIGRAPH_OBS_REPORT_H_
 #define ALIGRAPH_OBS_REPORT_H_
@@ -101,6 +104,11 @@ class RunReport {
   void AddMeta(const std::string& key, const std::string& value);
   void AddMeta(const std::string& key, double value);
 
+  /// Records which build produced the run (see common/build_info.h); the
+  /// report's "build" object stays empty until this is called.
+  void SetBuildInfo(const std::string& git_sha, const std::string& compiler,
+                    const std::string& build_type);
+
   /// Headline number, e.g. "taobao_small.neighborhood_ms".
   void AddMetric(const std::string& name, double value);
 
@@ -129,6 +137,7 @@ class RunReport {
   };
 
   std::string name_;
+  std::vector<std::pair<std::string, std::string>> build_info_;
   std::vector<std::pair<std::string, std::string>> meta_strings_;
   std::vector<std::pair<std::string, double>> meta_numbers_;
   std::vector<std::pair<std::string, double>> metrics_;

@@ -1,0 +1,242 @@
+#include "obs/timeline.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <unordered_map>
+
+#include "obs/report.h"
+
+namespace aligraph {
+namespace obs {
+
+TraceForest AssembleTraces(const std::vector<SpanEvent>& events) {
+  TraceForest forest;
+  // trace id -> indices into `events`, preserving recording order.
+  std::map<uint64_t, std::vector<size_t>> by_trace;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events[i].trace_id == 0 || events[i].span_id == 0) {
+      ++forest.untraced_spans;
+      continue;
+    }
+    by_trace[events[i].trace_id].push_back(i);
+  }
+
+  for (const auto& [trace_id, indices] : by_trace) {
+    TraceTree tree;
+    tree.trace_id = trace_id;
+    tree.nodes.reserve(indices.size());
+    std::unordered_map<uint64_t, size_t> node_of;  // span id -> node index
+    node_of.reserve(indices.size());
+    for (const size_t i : indices) {
+      node_of.emplace(events[i].span_id, tree.nodes.size());
+      tree.nodes.push_back(TraceNode{events[i], {}});
+    }
+    size_t root = tree.nodes.size();
+    uint64_t orphans = 0;
+    for (size_t n = 0; n < tree.nodes.size(); ++n) {
+      const uint64_t parent = tree.nodes[n].event.parent_span_id;
+      if (parent == 0) {
+        if (root == tree.nodes.size()) {
+          root = n;
+        } else {
+          ++orphans;  // second parentless span in one trace: must not happen
+        }
+        continue;
+      }
+      auto it = node_of.find(parent);
+      if (it == node_of.end()) {
+        ++orphans;  // parent evicted from its ring before collection
+        continue;
+      }
+      tree.nodes[it->second].children.push_back(n);
+    }
+    forest.orphan_spans += orphans;
+    if (root == tree.nodes.size()) {
+      // Root evicted: nothing to hang the tree on; every linked span of the
+      // trace is unreachable, so report them all as orphans.
+      forest.orphan_spans += tree.nodes.size() - orphans;
+      continue;
+    }
+    tree.root = root;
+    for (TraceNode& node : tree.nodes) {
+      std::sort(node.children.begin(), node.children.end(),
+                [&tree](size_t a, size_t b) {
+                  return tree.nodes[a].event.start_ns <
+                         tree.nodes[b].event.start_ns;
+                });
+    }
+    forest.traces.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+const CriticalPathStep* CriticalPath::DominantStep() const {
+  const CriticalPathStep* best = nullptr;
+  for (const CriticalPathStep& s : steps) {
+    if (best == nullptr || s.self_us > best->self_us) best = &s;
+  }
+  return best;
+}
+
+std::string CriticalPath::ToString() const {
+  std::ostringstream os;
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.1f", total_us);
+  os << "critical path (" << buf << " us):";
+  for (const CriticalPathStep& s : steps) {
+    const double pct =
+        total_us <= 0 ? 0.0 : 100.0 * s.self_us / total_us;
+    std::snprintf(buf, sizeof(buf), " %.1f%%", pct);
+    os << "\n  " << s.name << buf << " self";
+  }
+  if (const CriticalPathStep* top = DominantStep()) {
+    const double pct =
+        total_us <= 0 ? 0.0 : 100.0 * top->self_us / total_us;
+    std::snprintf(buf, sizeof(buf), "%.1f%% (%.1f us)", pct, top->self_us);
+    os << "\nlongest blocking step: " << top->name << " — " << buf
+       << " of the request on thread " << top->thread;
+  }
+  return os.str();
+}
+
+CriticalPath ComputeCriticalPath(const TraceTree& tree) {
+  CriticalPath path;
+  if (tree.nodes.empty()) return path;
+  path.total_us = tree.duration_us();
+  size_t at = tree.root;
+  while (true) {
+    const TraceNode& node = tree.nodes[at];
+    CriticalPathStep step;
+    step.name = node.event.name;
+    step.span_id = node.event.span_id;
+    step.thread = node.event.thread;
+    step.total_us = static_cast<double>(node.event.duration_ns) * 1e-3;
+    if (node.children.empty()) {
+      step.self_us = step.total_us;
+      path.steps.push_back(std::move(step));
+      break;
+    }
+    // The child the parent blocked on is the one that finished last; the
+    // parent's self share is whatever that child does not cover.
+    size_t blocking = node.children.front();
+    for (const size_t c : node.children) {
+      if (tree.nodes[c].event.end_ns() > tree.nodes[blocking].event.end_ns()) {
+        blocking = c;
+      }
+    }
+    const double child_us =
+        static_cast<double>(tree.nodes[blocking].event.duration_ns) * 1e-3;
+    step.self_us = std::max(0.0, step.total_us - child_us);
+    path.steps.push_back(std::move(step));
+    at = blocking;
+  }
+  return path;
+}
+
+std::string ChromeTraceJson(const std::vector<SpanEvent>& events) {
+  // Span id -> recording thread, to detect cross-thread parent edges and
+  // anchor their flow arrows.
+  std::unordered_map<uint64_t, const SpanEvent*> by_id;
+  by_id.reserve(events.size());
+  uint32_t max_thread = 0;
+  for (const SpanEvent& e : events) {
+    if (e.span_id != 0) by_id.emplace(e.span_id, &e);
+    max_thread = std::max(max_thread, e.thread);
+  }
+
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("displayTimeUnit").Value("ms");
+  w.Key("traceEvents").BeginArray();
+
+  w.BeginObject();
+  w.Key("ph").Value("M");
+  w.Key("pid").Value(static_cast<uint64_t>(1));
+  w.Key("name").Value("process_name");
+  w.Key("args").BeginObject().Key("name").Value("aligraph").EndObject();
+  w.EndObject();
+  for (uint32_t t = 0; t <= max_thread && !events.empty(); ++t) {
+    w.BeginObject();
+    w.Key("ph").Value("M");
+    w.Key("pid").Value(static_cast<uint64_t>(1));
+    w.Key("tid").Value(static_cast<uint64_t>(t));
+    w.Key("name").Value("thread_name");
+    w.Key("args").BeginObject().Key("name").Value("ring-" + std::to_string(t));
+    w.EndObject();
+    w.EndObject();
+  }
+
+  for (const SpanEvent& e : events) {
+    const double ts_us = static_cast<double>(e.start_ns) * 1e-3;
+    const double dur_us = static_cast<double>(e.duration_ns) * 1e-3;
+    w.BeginObject();
+    w.Key("ph").Value("X");
+    w.Key("name").Value(e.name);
+    w.Key("cat").Value("span");
+    w.Key("pid").Value(static_cast<uint64_t>(1));
+    w.Key("tid").Value(static_cast<uint64_t>(e.thread));
+    w.Key("ts").Value(ts_us);
+    w.Key("dur").Value(dur_us);
+    w.Key("args").BeginObject();
+    w.Key("trace_id").Value(e.trace_id);
+    w.Key("span_id").Value(e.span_id);
+    w.Key("parent_span_id").Value(e.parent_span_id);
+    w.EndObject();
+    w.EndObject();
+
+    // Cross-thread handoff: draw a flow arrow from the parent's timeline to
+    // this span's start. The flow id is the child span id (unique).
+    if (e.parent_span_id == 0) continue;
+    auto it = by_id.find(e.parent_span_id);
+    if (it == by_id.end() || it->second->thread == e.thread) continue;
+    const SpanEvent& parent = *it->second;
+    w.BeginObject();
+    w.Key("ph").Value("s");
+    w.Key("id").Value(e.span_id);
+    w.Key("name").Value("handoff");
+    w.Key("cat").Value("handoff");
+    w.Key("pid").Value(static_cast<uint64_t>(1));
+    w.Key("tid").Value(static_cast<uint64_t>(parent.thread));
+    w.Key("ts").Value(static_cast<double>(parent.start_ns) * 1e-3);
+    w.EndObject();
+    w.BeginObject();
+    w.Key("ph").Value("f");
+    w.Key("bp").Value("e");
+    w.Key("id").Value(e.span_id);
+    w.Key("name").Value("handoff");
+    w.Key("cat").Value("handoff");
+    w.Key("pid").Value(static_cast<uint64_t>(1));
+    w.Key("tid").Value(static_cast<uint64_t>(e.thread));
+    w.Key("ts").Value(ts_us);
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+Status WriteChromeTrace(const std::vector<SpanEvent>& events,
+                        const std::string& path) {
+  const std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return Status::IoError("cannot create " + p.parent_path().string() +
+                             ": " + ec.message());
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << ChromeTraceJson(events) << "\n";
+  out.close();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace aligraph

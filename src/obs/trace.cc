@@ -11,19 +11,47 @@ std::atomic<Tracer*> g_tracer{nullptr};
 std::atomic<uint64_t> g_tracer_generation{0};
 
 thread_local uint32_t tl_depth = 0;
+thread_local TraceContext tl_context;
 // Cached (tracer generation, buffer) so a thread registers with a tracer
 // once; a stale cache from a destroyed tracer fails the generation check
 // and is never dereferenced.
 thread_local uint64_t tl_buffer_generation = 0;
 thread_local void* tl_buffer = nullptr;
 
+/// Span ids are drawn from per-thread blocks carved off one global counter:
+/// the hot path is a thread-local increment; the shared fetch-add happens
+/// once per kSpanIdBlock spans per thread. Ids start at 1 — 0 is reserved
+/// for "no span / no trace".
+constexpr uint64_t kSpanIdBlock = 1024;
+std::atomic<uint64_t> g_next_span_id{1};
+thread_local uint64_t tl_span_id_cursor = 0;
+thread_local uint64_t tl_span_id_limit = 0;
+
 }  // namespace
+
+TraceContext CurrentTraceContext() { return tl_context; }
+
+uint64_t NextSpanId() {
+  if (tl_span_id_cursor == tl_span_id_limit) {
+    tl_span_id_cursor =
+        g_next_span_id.fetch_add(kSpanIdBlock, std::memory_order_relaxed);
+    tl_span_id_limit = tl_span_id_cursor + kSpanIdBlock;
+  }
+  return tl_span_id_cursor++;
+}
+
+ScopedTraceContext::ScopedTraceContext(TraceContext ctx) : prev_(tl_context) {
+  tl_context = ctx;
+}
+
+ScopedTraceContext::~ScopedTraceContext() { tl_context = prev_; }
 
 Tracer::Tracer(size_t ring_capacity)
     : ring_capacity_(ring_capacity == 0 ? 1 : ring_capacity),
       generation_(g_tracer_generation.fetch_add(1,
                                                 std::memory_order_relaxed) +
-                  1) {}
+                  1),
+      epoch_(std::chrono::steady_clock::now()) {}
 
 Tracer::~Tracer() {
   if (DefaultTracer() == this) SetDefaultTracer(nullptr);
@@ -40,12 +68,21 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
   return buffers_.back().get();
 }
 
-void Tracer::Record(const char* name, uint32_t depth, int64_t duration_ns) {
+void Tracer::Record(const char* name, uint32_t depth, TraceContext ctx,
+                    uint64_t parent_span_id,
+                    std::chrono::steady_clock::time_point start,
+                    int64_t duration_ns) {
   ThreadBuffer* buf = BufferForThisThread();
   const uint64_t h = buf->head.load(std::memory_order_relaxed);
   SpanRecord& rec = buf->records[h % buf->records.size()];
   rec.name = name;
   rec.depth = depth;
+  rec.trace_id = ctx.trace_id;
+  rec.span_id = ctx.span_id;
+  rec.parent_span_id = parent_span_id;
+  rec.start_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start - epoch_)
+          .count();
   rec.duration_ns = duration_ns;
   buf->head.store(h + 1, std::memory_order_release);
 }
@@ -76,6 +113,31 @@ std::map<std::string, SpanStats> Tracer::Aggregate() const {
   return agg;
 }
 
+std::vector<SpanEvent> Tracer::Events() const {
+  std::vector<SpanEvent> events;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t t = 0; t < buffers_.size(); ++t) {
+    const auto& buf = buffers_[t];
+    const uint64_t n = buf->head.load(std::memory_order_acquire);
+    const uint64_t cap = buf->records.size();
+    const uint64_t first = n > cap ? n - cap : 0;
+    for (uint64_t i = first; i < n; ++i) {
+      const SpanRecord& rec = buf->records[i % cap];
+      SpanEvent e;
+      e.name = rec.name;
+      e.trace_id = rec.trace_id;
+      e.span_id = rec.span_id;
+      e.parent_span_id = rec.parent_span_id;
+      e.depth = rec.depth;
+      e.thread = static_cast<uint32_t>(t);
+      e.start_ns = rec.start_ns;
+      e.duration_ns = rec.duration_ns;
+      events.push_back(std::move(e));
+    }
+  }
+  return events;
+}
+
 uint64_t Tracer::dropped_records() const {
   uint64_t dropped = 0;
   std::lock_guard<std::mutex> lock(mu_);
@@ -100,6 +162,19 @@ uint32_t CurrentSpanDepth() { return tl_depth; }
 uint32_t ScopedSpan::EnterSpan() { return ++tl_depth; }
 
 void ScopedSpan::LeaveSpan() { --tl_depth; }
+
+TraceContext ScopedSpan::PushContext() {
+  const TraceContext prev = tl_context;
+  const uint64_t id = NextSpanId();
+  // No active trace: this span is a request root and mints the trace id
+  // from its own span id, so every trace has exactly one root by
+  // construction. Inside a trace: inherit it.
+  tl_context.trace_id = prev.trace_id == 0 ? id : prev.trace_id;
+  tl_context.span_id = id;
+  return prev;
+}
+
+void ScopedSpan::PopContext(TraceContext prev) { tl_context = prev; }
 
 }  // namespace obs
 }  // namespace aligraph

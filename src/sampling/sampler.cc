@@ -188,6 +188,9 @@ block::SampledBlock NeighborhoodSampler::SampleBlock(
     NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
     std::span<const uint32_t> hop_nums, ThreadPool* pool,
     block::FeatureSource* features) {
+  // Request root when called outside any span: draw, relabel, and gather
+  // all land in one trace.
+  obs::ScopedSpan span("sample/block");
   const NeighborhoodSample sample =
       DrawHops(source, roots, type, hop_nums, pool);
   block::SampledBlock out =

@@ -1,0 +1,592 @@
+/// \file test_trace.cc
+/// \brief Causal tracing: context minting/propagation, parentage across
+/// BucketExecutor and ThreadPool handoffs, trace completeness under
+/// parallel k-hop sampling (with and without fault injection), timeline
+/// assembly, the critical-path analyzer, Chrome trace export, and the
+/// bench_compare regression gate.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/request_bucket.h"
+#include "common/threadpool.h"
+#include "fault/fault_injector.h"
+#include "fault/retry_policy.h"
+#include "gen/powerlaw.h"
+#include "obs/compare.h"
+#include "obs/report.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+#include "partition/partitioner.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace {
+
+using obs::AssembleTraces;
+using obs::ScopedSpan;
+using obs::SpanEvent;
+using obs::TraceContext;
+using obs::TraceForest;
+using obs::TraceTree;
+using obs::Tracer;
+
+AttributedGraph MakeGraph(uint64_t seed = 9) {
+  gen::ChungLuConfig cfg;
+  cfg.num_vertices = 1200;
+  cfg.avg_degree = 6;
+  cfg.seed = seed;
+  return std::move(gen::ChungLu(cfg)).value();
+}
+
+/// RAII attach/detach of a tracer as the process default.
+class TracerSession {
+ public:
+  explicit TracerSession(Tracer* t) { obs::SetDefaultTracer(t); }
+  ~TracerSession() { obs::SetDefaultTracer(nullptr); }
+};
+
+const SpanEvent* FindByName(const std::vector<SpanEvent>& events,
+                            const std::string& name) {
+  for (const SpanEvent& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+size_t CountByName(const TraceTree& tree, const std::string& name) {
+  size_t n = 0;
+  for (const auto& node : tree.nodes) n += node.event.name == name;
+  return n;
+}
+
+const TraceTree* TreeRootedAt(const TraceForest& forest,
+                              const std::string& root_name) {
+  for (const TraceTree& tree : forest.traces) {
+    if (tree.root_event().name == root_name) return &tree;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Context minting and same-thread nesting.
+
+TEST(TraceContextTest, NoTracerMeansNoContext) {
+  ASSERT_EQ(obs::DefaultTracer(), nullptr);
+  ScopedSpan span("detached");
+  EXPECT_EQ(obs::CurrentTraceContext().trace_id, 0u);
+}
+
+TEST(TraceContextTest, RootSpanMintsItsOwnTrace) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  TraceContext inside;
+  {
+    ScopedSpan span("root");
+    inside = obs::CurrentTraceContext();
+    EXPECT_NE(inside.span_id, 0u);
+    EXPECT_EQ(inside.trace_id, inside.span_id);
+  }
+  EXPECT_EQ(obs::CurrentTraceContext().trace_id, 0u);
+
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, inside.trace_id);
+  EXPECT_EQ(events[0].span_id, inside.span_id);
+  EXPECT_EQ(events[0].parent_span_id, 0u);
+}
+
+TEST(TraceContextTest, NestedSpanInheritsTraceAndParents) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  {
+    ScopedSpan outer("outer");
+    const TraceContext outer_ctx = obs::CurrentTraceContext();
+    ScopedSpan inner("inner");
+    const TraceContext inner_ctx = obs::CurrentTraceContext();
+    EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+    EXPECT_NE(inner_ctx.span_id, outer_ctx.span_id);
+  }
+  const auto events = tracer.Events();
+  const SpanEvent* outer = FindByName(events, "outer");
+  const SpanEvent* inner = FindByName(events, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(inner->trace_id, outer->trace_id);
+  EXPECT_EQ(inner->parent_span_id, outer->span_id);
+  EXPECT_EQ(outer->parent_span_id, 0u);
+  EXPECT_GT(inner->depth, outer->depth);
+}
+
+TEST(TraceContextTest, SiblingSpansShareParent) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  {
+    ScopedSpan outer("outer");
+    { ScopedSpan a("a"); }
+    { ScopedSpan b("b"); }
+  }
+  const auto events = tracer.Events();
+  const SpanEvent* outer = FindByName(events, "outer");
+  const SpanEvent* a = FindByName(events, "a");
+  const SpanEvent* b = FindByName(events, "b");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(a->parent_span_id, outer->span_id);
+  EXPECT_EQ(b->parent_span_id, outer->span_id);
+  EXPECT_NE(a->span_id, b->span_id);
+}
+
+TEST(TraceContextTest, ScopedTraceContextAdoptsAcrossThreads) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  TraceContext captured;
+  {
+    ScopedSpan parent("parent");
+    captured = obs::CurrentTraceContext();
+    std::thread worker([captured] {
+      obs::ScopedTraceContext adopt(captured);
+      ScopedSpan child("child");
+    });
+    worker.join();
+  }
+  const auto events = tracer.Events();
+  const SpanEvent* parent = FindByName(events, "parent");
+  const SpanEvent* child = FindByName(events, "child");
+  ASSERT_NE(parent, nullptr);
+  ASSERT_NE(child, nullptr);
+  EXPECT_EQ(child->trace_id, parent->trace_id);
+  EXPECT_EQ(child->parent_span_id, parent->span_id);
+  EXPECT_NE(child->thread, parent->thread);  // distinct ring buffers
+}
+
+TEST(TraceContextTest, LegacyRecordIsUntraced) {
+  Tracer tracer;
+  tracer.Record("legacy", 1, 1000);
+  const auto events = tracer.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  const TraceForest forest = AssembleTraces(events);
+  EXPECT_TRUE(forest.traces.empty());
+  EXPECT_EQ(forest.untraced_spans, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Cross-thread handoffs through the executors.
+
+TEST(BucketExecutorTraceTest, HandoffPreservesParentage) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  uint64_t parent_span = 0;
+  {
+    ScopedSpan submit_span("submit");
+    parent_span = obs::CurrentTraceContext().span_id;
+    BucketExecutor exec(/*num_buckets=*/2);
+    for (uint64_t g = 0; g < 8; ++g) {
+      ASSERT_TRUE(exec.TrySubmit(g, [] { ScopedSpan op("op"); }).ok());
+    }
+    exec.Drain();
+  }
+  const auto events = tracer.Events();
+  const SpanEvent* submit = FindByName(events, "submit");
+  ASSERT_NE(submit, nullptr);
+  size_t ops = 0;
+  std::set<uint32_t> op_threads;
+  for (const SpanEvent& e : events) {
+    if (e.name != "op") continue;
+    ++ops;
+    EXPECT_EQ(e.trace_id, submit->trace_id);
+    EXPECT_EQ(e.parent_span_id, parent_span);
+    op_threads.insert(e.thread);
+  }
+  EXPECT_EQ(ops, 8u);
+  // Two lanes, two consumer threads: ops recorded off the submitting ring.
+  EXPECT_EQ(op_threads.size(), 2u);
+  EXPECT_EQ(op_threads.count(submit->thread), 0u);
+}
+
+TEST(BucketExecutorTraceTest, SubmitOutsideTraceStaysUntraced) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  {
+    BucketExecutor exec(/*num_buckets=*/1);
+    ASSERT_TRUE(exec.TrySubmit(0, [] { ScopedSpan op("op"); }).ok());
+    exec.Drain();
+  }
+  const auto events = tracer.Events();
+  const SpanEvent* op = FindByName(events, "op");
+  ASSERT_NE(op, nullptr);
+  // No submitter context to adopt: the op span minted its own trace.
+  EXPECT_EQ(op->trace_id, op->span_id);
+  EXPECT_EQ(op->parent_span_id, 0u);
+}
+
+TEST(ThreadPoolTraceTest, SubmitAndParallelForPropagateContext) {
+  Tracer tracer;
+  TracerSession session(&tracer);
+  ThreadPool pool(3);
+  uint64_t parent_span = 0;
+  {
+    ScopedSpan root("request");
+    parent_span = obs::CurrentTraceContext().span_id;
+    std::atomic<int> sum{0};
+    pool.ParallelFor(64, [&sum](size_t i) { sum.fetch_add(1); });
+    EXPECT_EQ(sum.load(), 64);
+  }
+  const auto events = tracer.Events();
+  const SpanEvent* root = FindByName(events, "request");
+  ASSERT_NE(root, nullptr);
+  size_t workers = 0;
+  for (const SpanEvent& e : events) {
+    if (e.name != "pool/parallel_for") continue;
+    ++workers;
+    EXPECT_EQ(e.trace_id, root->trace_id);
+    EXPECT_EQ(e.parent_span_id, parent_span);
+  }
+  EXPECT_GE(workers, 1u);
+  EXPECT_LE(workers, 3u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end: parallel k-hop sampling through the cluster stays one tree.
+
+TEST(SamplingTraceTest, ParallelKHopTraceIsCompleteAndSingleRooted) {
+  const AttributedGraph graph = MakeGraph();
+  auto cluster =
+      std::move(Cluster::Build(graph, EdgeCutPartitioner(), 4)).value();
+  CommStats stats;
+  DistributedNeighborSource source(cluster, /*worker=*/0, &stats);
+  ThreadPool pool(4);
+
+  // Attach AFTER the build so the only recorded request is the sample.
+  Tracer tracer;
+  TracerSession session(&tracer);
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, /*seed=*/5);
+  std::vector<VertexId> roots(64);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    roots[i] = static_cast<VertexId>(i * 7 % graph.num_vertices());
+  }
+  const std::vector<uint32_t> fans{4, 3};
+  const auto block = sampler.SampleBlock(
+      source, roots, NeighborhoodSampler::kAllEdgeTypes, fans, &pool);
+  EXPECT_EQ(block.root_locals().size(), roots.size());
+
+  const auto events = tracer.Events();
+  const TraceForest forest = AssembleTraces(events);
+  EXPECT_EQ(forest.orphan_spans, 0u);
+  EXPECT_EQ(forest.untraced_spans, 0u);
+
+  const TraceTree* tree = TreeRootedAt(forest, "sample/block");
+  ASSERT_NE(tree, nullptr);
+  // Every recorded event belongs to this one request: nothing leaked into a
+  // second trace, and the request has exactly one parentless span.
+  ASSERT_EQ(forest.traces.size(), 1u);
+  EXPECT_EQ(tree->nodes.size(), events.size());
+  size_t parentless = 0;
+  for (const auto& node : tree->nodes) {
+    parentless += node.event.parent_span_id == 0;
+    EXPECT_EQ(node.event.trace_id, tree->trace_id);
+  }
+  EXPECT_EQ(parentless, 1u);
+
+  // The layers the request crossed are all present in its tree.
+  EXPECT_EQ(CountByName(*tree, "sample/neighborhood"), 1u);
+  EXPECT_EQ(CountByName(*tree, "sample/hop0"), 1u);
+  EXPECT_EQ(CountByName(*tree, "sample/hop1"), 1u);
+  EXPECT_EQ(CountByName(*tree, "cluster/batch_read"), fans.size());
+  EXPECT_GT(CountByName(*tree, "cluster/remote_serve"), 0u);
+  EXPECT_GT(CountByName(*tree, "pool/parallel_for"), 0u);
+
+  // Cross-thread handoffs happened: spans were recorded on >= 2 rings.
+  std::set<uint32_t> threads;
+  for (const auto& node : tree->nodes) threads.insert(node.event.thread);
+  EXPECT_GE(threads.size(), 2u);
+}
+
+TEST(SamplingTraceTest, RetryAttemptsAreLinkedIntoTheRequestTrace) {
+  const AttributedGraph graph = MakeGraph();
+  auto cluster =
+      std::move(Cluster::Build(graph, EdgeCutPartitioner(), 4)).value();
+  FaultConfig cfg;
+  cfg.seed = 11;
+  // Every request to worker 1 fails its first attempt, forcing a retry.
+  cfg.schedule.push_back({1, FaultKind::kTransient, 1});
+  cluster.InstallFaultInjection(cfg);
+
+  CommStats stats;
+  DistributedNeighborSource source(cluster, /*worker=*/0, &stats);
+  Tracer tracer;
+  TracerSession session(&tracer);
+  NeighborhoodSampler sampler(NeighborStrategy::kUniform, /*seed=*/6);
+  std::vector<VertexId> roots(48);
+  for (size_t i = 0; i < roots.size(); ++i) {
+    roots[i] = static_cast<VertexId>(i);
+  }
+  const std::vector<uint32_t> fans{4, 3};
+  (void)sampler.SampleBlock(source, roots,
+                            NeighborhoodSampler::kAllEdgeTypes, fans);
+
+  const auto events = tracer.Events();
+  const TraceForest forest = AssembleTraces(events);
+  EXPECT_EQ(forest.orphan_spans, 0u);
+  const TraceTree* tree = TreeRootedAt(forest, "sample/block");
+  ASSERT_NE(tree, nullptr);
+  // The degraded read's recovery is part of the request's causal tree, not
+  // a disconnected side story.
+  EXPECT_GT(CountByName(*tree, "cluster/retry"), 0u);
+  EXPECT_GT(CountByName(*tree, "cluster/retry_attempt"), 0u);
+  ASSERT_GT(stats.retry_attempts.load(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Timeline assembly + critical path on synthetic events.
+
+SpanEvent MakeEvent(const char* name, uint64_t trace, uint64_t span,
+                    uint64_t parent, uint32_t thread, int64_t start_us,
+                    int64_t dur_us) {
+  SpanEvent e;
+  e.name = name;
+  e.trace_id = trace;
+  e.span_id = span;
+  e.parent_span_id = parent;
+  e.thread = thread;
+  e.start_ns = start_us * 1000;
+  e.duration_ns = dur_us * 1000;
+  return e;
+}
+
+TEST(TimelineTest, AssembleLinksChildrenAndCountsOrphans) {
+  std::vector<SpanEvent> events;
+  events.push_back(MakeEvent("root", 1, 1, 0, 0, 0, 100));
+  events.push_back(MakeEvent("child", 1, 2, 1, 1, 10, 20));
+  events.push_back(MakeEvent("orphan", 1, 3, 999, 0, 50, 5));  // evicted parent
+  events.push_back(MakeEvent("other_root", 7, 7, 0, 0, 0, 1));
+  const TraceForest forest = AssembleTraces(events);
+  ASSERT_EQ(forest.traces.size(), 2u);
+  EXPECT_EQ(forest.orphan_spans, 1u);
+  const TraceTree* tree = TreeRootedAt(forest, "root");
+  ASSERT_NE(tree, nullptr);
+  ASSERT_EQ(tree->nodes[tree->root].children.size(), 1u);
+  EXPECT_EQ(tree->nodes[tree->nodes[tree->root].children[0]].event.name,
+            "child");
+}
+
+TEST(TimelineTest, RootlessTraceContributesOnlyOrphans) {
+  std::vector<SpanEvent> events;
+  events.push_back(MakeEvent("a", 3, 10, 5, 0, 0, 10));  // parent 5 evicted
+  events.push_back(MakeEvent("b", 3, 11, 10, 0, 2, 4));
+  const TraceForest forest = AssembleTraces(events);
+  EXPECT_TRUE(forest.traces.empty());
+  EXPECT_EQ(forest.orphan_spans, 2u);
+}
+
+TEST(CriticalPathTest, DescendsIntoLastFinishingChild) {
+  std::vector<SpanEvent> events;
+  events.push_back(MakeEvent("root", 1, 1, 0, 0, 0, 100));
+  events.push_back(MakeEvent("fast", 1, 2, 1, 1, 0, 30));
+  events.push_back(MakeEvent("slow", 1, 3, 1, 1, 40, 55));   // ends at 95
+  events.push_back(MakeEvent("inner", 1, 4, 3, 2, 50, 40));  // ends at 90
+  const TraceForest forest = AssembleTraces(events);
+  ASSERT_EQ(forest.traces.size(), 1u);
+  const obs::CriticalPath path =
+      obs::ComputeCriticalPath(forest.traces[0]);
+  ASSERT_EQ(path.steps.size(), 3u);
+  EXPECT_EQ(path.steps[0].name, "root");
+  EXPECT_EQ(path.steps[1].name, "slow");  // finished after "fast"
+  EXPECT_EQ(path.steps[2].name, "inner");
+  EXPECT_DOUBLE_EQ(path.total_us, 100.0);
+  EXPECT_DOUBLE_EQ(path.steps[0].self_us, 45.0);  // 100 - 55
+  EXPECT_DOUBLE_EQ(path.steps[1].self_us, 15.0);  // 55 - 40
+  EXPECT_DOUBLE_EQ(path.steps[2].self_us, 40.0);  // leaf keeps everything
+  ASSERT_NE(path.DominantStep(), nullptr);
+  EXPECT_EQ(path.DominantStep()->name, "root");
+  EXPECT_FALSE(path.ToString().empty());
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace export.
+
+TEST(ChromeTraceTest, ExportParsesAndCarriesCausalIds) {
+  std::vector<SpanEvent> events;
+  events.push_back(MakeEvent("root", 1, 1, 0, 0, 0, 100));
+  events.push_back(MakeEvent("hop", 1, 2, 1, 1, 10, 50));  // cross-thread
+  const std::string json = obs::ChromeTraceJson(events);
+  auto parsed = obs::JsonValue::Parse(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const obs::JsonValue* trace_events = parsed->Find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_TRUE(trace_events->IsArray());
+
+  size_t complete = 0, flow_starts = 0, flow_ends = 0, meta = 0;
+  for (const auto& e : trace_events->items) {
+    const std::string ph = e.Find("ph")->string_value;
+    if (ph == "X") {
+      ++complete;
+      ASSERT_NE(e.Find("args"), nullptr);
+      EXPECT_NE(e.Find("args")->Find("span_id"), nullptr);
+      EXPECT_NE(e.Find("args")->Find("trace_id"), nullptr);
+    } else if (ph == "s") {
+      ++flow_starts;
+    } else if (ph == "f") {
+      ++flow_ends;
+    } else if (ph == "M") {
+      ++meta;
+    }
+  }
+  EXPECT_EQ(complete, 2u);
+  // One cross-thread parent->child edge: one flow arrow (start + end).
+  EXPECT_EQ(flow_starts, 1u);
+  EXPECT_EQ(flow_ends, 1u);
+  EXPECT_GE(meta, 3u);  // process name + two thread names
+}
+
+TEST(ChromeTraceTest, SameThreadEdgesGetNoFlowArrows) {
+  std::vector<SpanEvent> events;
+  events.push_back(MakeEvent("root", 1, 1, 0, 0, 0, 100));
+  events.push_back(MakeEvent("child", 1, 2, 1, 0, 10, 50));
+  const std::string json = obs::ChromeTraceJson(events);
+  EXPECT_EQ(json.find("\"ph\":\"s\""), std::string::npos);
+}
+
+TEST(ChromeTraceTest, WriteCreatesParentDirectories) {
+  const std::string path =
+      ::testing::TempDir() + "/aligraph_trace_test/sub/out.trace.json";
+  std::vector<SpanEvent> events;
+  events.push_back(MakeEvent("root", 1, 1, 0, 0, 0, 10));
+  const Status st = obs::WriteChromeTrace(events, path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_TRUE(obs::JsonValue::Parse(content).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Run-report provenance + deterministic metric ordering.
+
+TEST(ReportTest, BuildInfoAppearsInJson) {
+  obs::RunReport report("r");
+  report.SetBuildInfo("abc123", "testcc 1.0", "Debug");
+  auto parsed = obs::JsonValue::Parse(report.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue* build = parsed->Find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_EQ(build->Find("git_sha")->string_value, "abc123");
+  EXPECT_EQ(build->Find("compiler")->string_value, "testcc 1.0");
+  EXPECT_EQ(build->Find("build_type")->string_value, "Debug");
+}
+
+TEST(ReportTest, MetricsSerializeSorted) {
+  obs::RunReport report("r");
+  report.AddMetric("z.last", 3);
+  report.AddMetric("a.first", 1);
+  report.AddMetric("m.middle", 2);
+  auto parsed = obs::JsonValue::Parse(report.ToJson());
+  ASSERT_TRUE(parsed.ok());
+  const obs::JsonValue* metrics = parsed->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->members.size(), 3u);
+  EXPECT_EQ(metrics->members[0].first, "a.first");
+  EXPECT_EQ(metrics->members[1].first, "m.middle");
+  EXPECT_EQ(metrics->members[2].first, "z.last");
+}
+
+// ---------------------------------------------------------------------------
+// Regression gate.
+
+std::string MetricsJson(const std::string& body) {
+  return "{\"schema_version\":1,\"name\":\"t\",\"metrics\":{" + body + "}}";
+}
+
+TEST(CompareTest, RegressionBeyondToleranceFailsTheGate) {
+  const auto result = obs::CompareReportJson(
+      MetricsJson("\"a.ms\":10.0"), MetricsJson("\"a.ms\":12.0"));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->regressed, 1u);
+  ASSERT_EQ(result->metrics.size(), 1u);
+  EXPECT_EQ(result->metrics[0].verdict, obs::MetricVerdict::kRegressed);
+  EXPECT_NEAR(result->metrics[0].RelativeDelta(), 0.2, 1e-9);
+}
+
+TEST(CompareTest, WithinToleranceAndImprovementsPass) {
+  const auto result = obs::CompareReportJson(
+      MetricsJson("\"a.ms\":10.0,\"b.ms\":10.0,\"c.ms\":10.0"),
+      MetricsJson("\"a.ms\":10.5,\"b.ms\":7.0,\"c.ms\":10.0"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->regressed, 0u);
+  EXPECT_EQ(result->improved, 1u);
+}
+
+TEST(CompareTest, ExtraCandidateMetricsAreIgnored) {
+  const auto result = obs::CompareReportJson(
+      MetricsJson("\"a.ms\":10.0"),
+      MetricsJson("\"a.ms\":10.0,\"wall.ms\":99999.0"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->ok());
+  EXPECT_EQ(result->metrics.size(), 1u);
+}
+
+TEST(CompareTest, MissingMetricFailsTheGate) {
+  const auto result = obs::CompareReportJson(
+      MetricsJson("\"a.ms\":10.0,\"gone.ms\":1.0"),
+      MetricsJson("\"a.ms\":10.0"));
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->ok());
+  EXPECT_EQ(result->missing, 1u);
+}
+
+TEST(CompareTest, MalformedJsonIsAnError) {
+  const auto bad_baseline =
+      obs::CompareReportJson("{not json", MetricsJson("\"a\":1"));
+  EXPECT_FALSE(bad_baseline.ok());
+  const auto bad_candidate =
+      obs::CompareReportJson(MetricsJson("\"a\":1"), "[1,2");
+  EXPECT_FALSE(bad_candidate.ok());
+  const auto no_metrics =
+      obs::CompareReportJson("{\"name\":\"x\"}", MetricsJson("\"a\":1"));
+  EXPECT_FALSE(no_metrics.ok());
+  const auto non_numeric = obs::CompareReportJson(
+      MetricsJson("\"a\":\"fast\""), MetricsJson("\"a\":1"));
+  EXPECT_FALSE(non_numeric.ok());
+}
+
+TEST(CompareTest, PerMetricToleranceOverridesDefault) {
+  obs::CompareOptions options;
+  options.per_metric_tolerance["noisy.ms"] = 0.5;
+  const auto result = obs::CompareReportJson(
+      MetricsJson("\"noisy.ms\":10.0,\"tight.ms\":10.0"),
+      MetricsJson("\"noisy.ms\":14.0,\"tight.ms\":14.0"), options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->regressed, 1u);  // only tight.ms, noisy.ms is within 50%
+  for (const auto& m : result->metrics) {
+    if (m.name == "noisy.ms") {
+      EXPECT_EQ(m.verdict, obs::MetricVerdict::kPass);
+    } else {
+      EXPECT_EQ(m.verdict, obs::MetricVerdict::kRegressed);
+    }
+  }
+}
+
+TEST(CompareTest, ZeroBaselineUsesAbsoluteSlack) {
+  const auto tiny = obs::CompareReportJson(MetricsJson("\"a\":0.0"),
+                                           MetricsJson("\"a\":0.0000005"));
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_TRUE(tiny->ok());  // within the 1e-6 absolute slack
+  const auto real = obs::CompareReportJson(MetricsJson("\"a\":0.0"),
+                                           MetricsJson("\"a\":0.1"));
+  ASSERT_TRUE(real.ok());
+  EXPECT_FALSE(real->ok());
+}
+
+}  // namespace
+}  // namespace aligraph

@@ -1,0 +1,106 @@
+/// \file bench_compare.cc
+/// \brief CLI regression gate over two run-report JSONs.
+///
+/// Usage:
+///   bench_compare [--tolerance=0.10] [--metric-tolerance=NAME=TOL]...
+///                 <baseline.json> <candidate.json>
+///
+/// Walks the baseline's "metrics" object (lower is better) and compares
+/// each against the candidate with the given relative tolerance;
+/// --metric-tolerance overrides the default for one metric and may repeat.
+/// Exit codes: 0 = gate passed, 1 = regression or missing metric,
+/// 2 = usage / unreadable file / malformed JSON.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/compare.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--tolerance=R] [--metric-tolerance=NAME=R]... "
+               "<baseline.json> <candidate.json>\n",
+               argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  aligraph::obs::CompareOptions options;
+  std::string baseline_path;
+  std::string candidate_path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+      char* end = nullptr;
+      options.default_tolerance = std::strtod(arg + 12, &end);
+      if (end == arg + 12 || *end != '\0' || options.default_tolerance < 0) {
+        std::fprintf(stderr, "bad --tolerance value: %s\n", arg + 12);
+        return 2;
+      }
+    } else if (std::strncmp(arg, "--metric-tolerance=", 19) == 0) {
+      const char* spec = arg + 19;
+      const char* eq = std::strrchr(spec, '=');
+      if (eq == nullptr || eq == spec) return Usage(argv[0]);
+      char* end = nullptr;
+      const double tol = std::strtod(eq + 1, &end);
+      if (end == eq + 1 || *end != '\0' || tol < 0) {
+        std::fprintf(stderr, "bad --metric-tolerance value: %s\n", spec);
+        return 2;
+      }
+      options.per_metric_tolerance[std::string(spec, eq)] = tol;
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return Usage(argv[0]);
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else if (candidate_path.empty()) {
+      candidate_path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (candidate_path.empty()) return Usage(argv[0]);
+
+  std::string baseline_json;
+  if (!ReadFile(baseline_path, &baseline_json)) {
+    std::fprintf(stderr, "cannot read baseline: %s\n", baseline_path.c_str());
+    return 2;
+  }
+  std::string candidate_json;
+  if (!ReadFile(candidate_path, &candidate_json)) {
+    std::fprintf(stderr, "cannot read candidate: %s\n",
+                 candidate_path.c_str());
+    return 2;
+  }
+
+  const auto result = aligraph::obs::CompareReportJson(
+      baseline_json, candidate_json, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench_compare: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("baseline:  %s\ncandidate: %s\n%s\n", baseline_path.c_str(),
+              candidate_path.c_str(), result->ToString().c_str());
+  if (!result->ok()) {
+    std::printf("GATE FAILED\n");
+    return 1;
+  }
+  std::printf("gate passed\n");
+  return 0;
+}
