@@ -1,6 +1,7 @@
 #include "algo/gnn.h"
 
 #include <algorithm>
+#include <any>
 #include <array>
 #include <cmath>
 #include <numeric>
@@ -10,6 +11,7 @@
 #include "block/scaled_csr.h"
 #include "common/logging.h"
 #include "obs/metrics.h"
+#include "pipeline/block_pipeline.h"
 
 namespace aligraph {
 namespace algo {
@@ -50,48 +52,59 @@ nn::Matrix MeanAggBackward(const nn::Matrix& grad, size_t fan) {
   return out;
 }
 
-// Materializes a block's [num_vertices, d] feature matrix, reusing rows
-// already held by `row_cache` (keyed hop 0 by global id) and gathering only
-// the missing residue from `source`. Cached rows are bitwise copies of what
-// the source returned when first gathered, so reuse is exact. Only the
-// residue's bytes are charged to "block.gather_bytes"; rows whose fetch
-// failed stay zero and are NOT admitted to the cache.
-nn::Matrix GatherBlockFeatures(const block::SampledBlock& blk,
-                               block::FeatureSource& source,
-                               ops::HopEmbeddingCache* row_cache) {
-  nn::Matrix x(blk.num_vertices(), source.dim());
-  std::vector<uint8_t> present;
-  if (row_cache != nullptr) {
-    row_cache->LookupRows(0, blk.globals(), &x, &present);
-  } else {
-    present.assign(blk.num_vertices(), 0);
+// One training batch's edge sample: the root list plus the positive /
+// negative pair index lists into it. Factored out of the training loop so
+// the sequential path and the pipeline's roots stage draw batches through
+// the SAME code — same RNG call sequence, hence bit-identical batches.
+struct EdgeBatch {
+  std::vector<VertexId> roots;
+  std::vector<std::pair<size_t, size_t>> pos;  // index into roots
+  std::vector<std::pair<size_t, size_t>> neg;
+};
+
+// Positive pairs from random edges; `k` negatives per pair. The guard bounds
+// the retries on graphs dominated by sink vertices.
+EdgeBatch DrawEdgeBatch(const AttributedGraph& graph,
+                        const std::vector<VertexId>& all, Rng& rng,
+                        NegativeSampler& negatives, size_t B, uint32_t k) {
+  EdgeBatch eb;
+  eb.roots.reserve(B * (2 + k));
+  size_t made = 0;
+  size_t guard = 0;
+  while (made < B && guard < B * 16 + 64) {
+    ++guard;
+    const VertexId u = all[rng.Uniform(all.size())];
+    const auto nbs = graph.OutNeighbors(u);
+    if (nbs.empty()) continue;
+    const VertexId v = nbs[rng.Uniform(nbs.size())].dst;
+    const size_t iu = eb.roots.size();
+    eb.roots.push_back(u);
+    const size_t iv = eb.roots.size();
+    eb.roots.push_back(v);
+    eb.pos.emplace_back(iu, iv);
+    for (VertexId ng : negatives.Sample(k, v)) {
+      eb.neg.emplace_back(iu, eb.roots.size());
+      eb.roots.push_back(ng);
+    }
+    ++made;
   }
-  std::vector<VertexId> missing;
-  std::vector<uint32_t> missing_rows;
-  for (size_t i = 0; i < blk.num_vertices(); ++i) {
-    if (present[i] != 0) continue;
-    missing.push_back(blk.globals()[i]);
-    missing_rows.push_back(static_cast<uint32_t>(i));
-  }
-  if (missing.empty()) return x;
-  nn::Matrix fetched(missing.size(), source.dim());
-  std::vector<uint8_t> ok;
-  (void)source.Gather(missing, &fetched, &ok);
-  for (size_t k = 0; k < missing.size(); ++k) {
-    auto src = fetched.Row(k);
-    std::copy(src.begin(), src.end(), x.Row(missing_rows[k]).begin());
-  }
-  if (obs::Counter* bytes = obs::DefaultCounter("block.gather_bytes")) {
-    bytes->Add(static_cast<uint64_t>(fetched.size()) * sizeof(float));
-  }
-  if (row_cache != nullptr) {
-    // `ok` doubles as the skip mask: failed rows read 0 == "insert", so
-    // flip it — only successfully fetched rows enter the cache.
-    std::vector<uint8_t> skip(missing.size(), 0);
-    for (size_t k = 0; k < missing.size(); ++k) skip[k] = ok[k] == 0 ? 1 : 0;
-    row_cache->InsertRows(0, missing, fetched, &skip);
-  }
-  return x;
+  return eb;
+}
+
+// Edge loss gradient on the root embeddings: connected pairs pulled toward
+// score 1, negatives toward 0, normalized by the total pair count.
+nn::Matrix EdgeLossGrad(const nn::Matrix& h2, const EdgeBatch& eb) {
+  nn::Matrix dh2(h2.rows(), h2.cols());
+  const float denom = static_cast<float>(eb.pos.size() + eb.neg.size());
+  auto pair_grad = [&](size_t a, size_t b, float label) {
+    const float g =
+        (SigmoidF(nn::Dot(h2.Row(a), h2.Row(b))) - label) / denom;
+    nn::Axpy(g, h2.Row(b), dh2.Row(a));
+    nn::Axpy(g, h2.Row(a), dh2.Row(b));
+  };
+  for (const auto& [a, b] : eb.pos) pair_grad(a, b, 1.0f);
+  for (const auto& [a, b] : eb.neg) pair_grad(a, b, 0.0f);
+  return dh2;
 }
 
 }  // namespace
@@ -218,6 +231,10 @@ SageTrainer::SageTrainer(const GnnConfig& config, size_t feature_dim)
 
 void SageTrainer::TrainEpochs(const AttributedGraph& graph,
                               const nn::Matrix& features, uint32_t epochs) {
+  if (config_.use_blocks && config_.pipeline_depth >= 1) {
+    TrainEpochsPipelined(graph, features, epochs);
+    return;
+  }
   Rng& rng = rng_;
   SageLayer& layer1 = layer1_;
   SageLayer& layer2 = layer2_;
@@ -241,31 +258,8 @@ void SageTrainer::TrainEpochs(const AttributedGraph& graph,
 
   for (uint32_t epoch = 0; epoch < epochs; ++epoch) {
     for (size_t batch = 0; batch < config_.batches_per_epoch; ++batch) {
-      // Positive pairs from random edges; negatives per pair.
-      std::vector<VertexId> roots;
-      roots.reserve(B * (2 + k));
-      std::vector<std::pair<size_t, size_t>> pos_pairs;  // index into roots
-      std::vector<std::pair<size_t, size_t>> neg_pairs;
-      size_t made = 0;
-      size_t guard = 0;
-      while (made < B && guard < B * 16 + 64) {
-        ++guard;
-        const VertexId u = all[rng.Uniform(all.size())];
-        const auto nbs = graph.OutNeighbors(u);
-        if (nbs.empty()) continue;
-        const VertexId v = nbs[rng.Uniform(nbs.size())].dst;
-        const size_t iu = roots.size();
-        roots.push_back(u);
-        const size_t iv = roots.size();
-        roots.push_back(v);
-        pos_pairs.emplace_back(iu, iv);
-        for (VertexId ng : negatives.Sample(k, v)) {
-          neg_pairs.emplace_back(iu, roots.size());
-          roots.push_back(ng);
-        }
-        ++made;
-      }
-      if (roots.empty()) continue;
+      const EdgeBatch eb = DrawEdgeBatch(graph, all, rng, negatives, B, k);
+      if (eb.roots.empty()) continue;
 
       // Sampled 2-hop tree and feature gathering. Both branches draw the
       // same sample (one shared draw loop) and execute the same float-op
@@ -277,16 +271,16 @@ void SageTrainer::TrainEpochs(const AttributedGraph& graph,
       nn::Matrix h1_roots, h1_h1, h2;
       if (config_.use_blocks) {
         const block::SampledBlock blk = hood.SampleBlock(
-            source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+            source, eb.roots, NeighborhoodSampler::kAllEdgeTypes, fans);
         const nn::Matrix x =
-            GatherBlockFeatures(blk, feature_source, &feature_rows_);
+            block::GatherBlockFeatures(blk, feature_source, &feature_rows_);
         h1_roots = layer1.ForwardBlock(x, blk.hops()[0], &c_roots);
         h1_h1 = layer1.ForwardBlock(x, blk.hops()[1], &c_h1);
         h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
       } else {
         const NeighborhoodSample tree = hood.Sample(
-            source, roots, NeighborhoodSampler::kAllEdgeTypes, fans);
-        const nn::Matrix x_roots = Gather(features, roots);
+            source, eb.roots, NeighborhoodSampler::kAllEdgeTypes, fans);
+        const nn::Matrix x_roots = Gather(features, eb.roots);
         const nn::Matrix x_h1 = Gather(features, tree.hops[0]);
         const nn::Matrix x_h2 = Gather(features, tree.hops[1]);
         h1_roots = layer1.Forward(x_roots, x_h1, f1, &c_roots);
@@ -294,19 +288,8 @@ void SageTrainer::TrainEpochs(const AttributedGraph& graph,
         h2 = layer2.Forward(h1_roots, h1_h1, f1, &c_top);
       }
 
-      // Edge loss and gradient on h2.
-      nn::Matrix dh2(h2.rows(), h2.cols());
-      auto pair_grad = [&](size_t a, size_t b, float label) {
-        const float g =
-            (SigmoidF(nn::Dot(h2.Row(a), h2.Row(b))) - label) /
-            static_cast<float>(pos_pairs.size() + neg_pairs.size());
-        nn::Axpy(g, h2.Row(b), dh2.Row(a));
-        nn::Axpy(g, h2.Row(a), dh2.Row(b));
-      };
-      for (const auto& [a, b] : pos_pairs) pair_grad(a, b, 1.0f);
-      for (const auto& [a, b] : neg_pairs) pair_grad(a, b, 0.0f);
-
-      // Backward through the tree; feature gradients are discarded.
+      // Edge loss; backward through the tree. Feature gradients discarded.
+      const nn::Matrix dh2 = EdgeLossGrad(h2, eb);
       auto [dh1_roots, dh1_h1] = layer2.Backward(c_top, dh2);
       layer1.Backward(c_roots, dh1_roots);
       layer1.Backward(c_h1, dh1_h1);
@@ -316,8 +299,69 @@ void SageTrainer::TrainEpochs(const AttributedGraph& graph,
   }
 }
 
+void SageTrainer::TrainEpochsPipelined(const AttributedGraph& graph,
+                                       const nn::Matrix& features,
+                                       uint32_t epochs) {
+  std::vector<VertexId> all(graph.num_vertices());
+  std::iota(all.begin(), all.end(), 0);
+  NegativeSampler negatives(graph, all, 0.75, config_.seed + 2);
+  NeighborhoodSampler hood(NeighborStrategy::kUniform, config_.seed + 3);
+  LocalNeighborSource source(graph);
+  block::MatrixFeatureSource feature_source(features);
+  feature_rows_.Reset();
+
+  const uint32_t f1 = config_.fanout1;
+  const std::vector<uint32_t> fans{f1, config_.fanout2};
+  const size_t B = config_.batch_size;
+  const uint32_t k = config_.negatives;
+  const size_t num_batches =
+      static_cast<size_t>(epochs) * config_.batches_per_epoch;
+
+  // Stage state partitioning keeps every stateful participant single-stage
+  // (hence single-threaded and in batch order, hence bit-identical to the
+  // sequential loop): rng_ / negatives / hood live on the sample lane,
+  // feature_rows_ on the gather lane, layers / optimizer on this thread.
+  pipeline::BlockPipeline pipe({config_.pipeline_depth});
+  const Status run = pipe.Run(
+      hood, source, NeighborhoodSampler::kAllEdgeTypes, fans, num_batches,
+      /*roots=*/
+      [&](size_t, std::any* user) {
+        EdgeBatch eb = DrawEdgeBatch(graph, all, rng_, negatives, B, k);
+        std::vector<VertexId> roots = eb.roots;
+        *user = std::move(eb);
+        return roots;
+      },
+      /*gather=*/
+      [&](const block::SampledBlock& blk) {
+        return block::GatherBlockFeatures(blk, feature_source,
+                                          &feature_rows_);
+      },
+      /*compute=*/
+      [&](size_t, const block::SampledBlock& blk, const nn::Matrix& x,
+          std::any& user) {
+        const EdgeBatch& eb = std::any_cast<const EdgeBatch&>(user);
+        if (eb.roots.empty()) return;  // mirrors the sequential `continue`
+        SageLayer::Cache c_roots, c_h1, c_top;
+        const nn::Matrix h1_roots =
+            layer1_.ForwardBlock(x, blk.hops()[0], &c_roots);
+        const nn::Matrix h1_h1 = layer1_.ForwardBlock(x, blk.hops()[1], &c_h1);
+        const nn::Matrix h2 = layer2_.Forward(h1_roots, h1_h1, f1, &c_top);
+        const nn::Matrix dh2 = EdgeLossGrad(h2, eb);
+        auto [dh1_roots, dh1_h1] = layer2_.Backward(c_top, dh2);
+        layer1_.Backward(c_roots, dh1_roots);
+        layer1_.Backward(c_h1, dh1_h1);
+        layer1_.Apply(opt_);
+        layer2_.Apply(opt_);
+      });
+  // The lanes are owned by `pipe` and cannot have been shut down here.
+  ALIGRAPH_CHECK(run.ok());
+}
+
 nn::Matrix SageTrainer::Infer(const AttributedGraph& graph,
                               const nn::Matrix& features) {
+  if (config_.use_blocks && config_.pipeline_depth >= 1) {
+    return InferPipelined(graph, features);
+  }
   SageLayer& layer1 = layer1_;
   SageLayer& layer2 = layer2_;
   LocalNeighborSource source(graph);
@@ -363,6 +407,58 @@ nn::Matrix SageTrainer::Infer(const AttributedGraph& graph,
       std::copy(src.begin(), src.end(), dst.begin());
     }
   }
+  return out;
+}
+
+nn::Matrix SageTrainer::InferPipelined(const AttributedGraph& graph,
+                                       const nn::Matrix& features) {
+  LocalNeighborSource source(graph);
+  const uint32_t f1 = config_.fanout1;
+  const std::vector<uint32_t> fans{f1, config_.fanout2};
+
+  nn::Matrix out(graph.num_vertices(), config_.dim);
+  NeighborhoodSampler infer_hood(NeighborStrategy::kUniform, config_.seed + 7);
+  block::MatrixFeatureSource feature_source(features);
+  feature_rows_.Reset();
+  const size_t chunk = 512;
+  const size_t num_batches =
+      (static_cast<size_t>(graph.num_vertices()) + chunk - 1) / chunk;
+
+  pipeline::BlockPipeline pipe({config_.pipeline_depth});
+  const Status run = pipe.Run(
+      infer_hood, source, NeighborhoodSampler::kAllEdgeTypes, fans,
+      num_batches,
+      /*roots=*/
+      [&](size_t b, std::any*) {
+        const VertexId begin = static_cast<VertexId>(b * chunk);
+        const VertexId end =
+            std::min<VertexId>(begin + chunk, graph.num_vertices());
+        std::vector<VertexId> roots(end - begin);
+        std::iota(roots.begin(), roots.end(), begin);
+        return roots;
+      },
+      /*gather=*/
+      [&](const block::SampledBlock& blk) {
+        return block::GatherBlockFeatures(blk, feature_source,
+                                          &feature_rows_);
+      },
+      /*compute=*/
+      [&](size_t b, const block::SampledBlock& blk, const nn::Matrix& x,
+          std::any&) {
+        SageLayer::Cache c_roots, c_h1, c_top;
+        const nn::Matrix h1_roots =
+            layer1_.ForwardBlock(x, blk.hops()[0], &c_roots);
+        const nn::Matrix h1_h1 = layer1_.ForwardBlock(x, blk.hops()[1], &c_h1);
+        nn::Matrix h2 = layer2_.Forward(h1_roots, h1_h1, f1, &c_top);
+        nn::L2NormalizeRows(h2);
+        const VertexId begin = static_cast<VertexId>(b * chunk);
+        for (size_t i = 0; i < h2.rows(); ++i) {
+          auto src = h2.Row(i);
+          auto dst = out.Row(begin + i);
+          std::copy(src.begin(), src.end(), dst.begin());
+        }
+      });
+  ALIGRAPH_CHECK(run.ok());
   return out;
 }
 

@@ -45,6 +45,14 @@ struct GnnConfig {
   /// same samples and produces bit-identical embeddings; it is kept for
   /// differential testing and ablation.
   bool use_blocks = true;
+  /// Stage-queue depth of the 3-stage sample/gather/compute pipeline over
+  /// the block path: 0 keeps the sequential per-batch loop; >= 1 streams
+  /// batches through pipeline::BlockPipeline so batch N+1's hop sampling
+  /// overlaps batch N's feature gather and batch N-1's forward/backward.
+  /// Every stage stays single-threaded and in batch order, so results are
+  /// bit-identical across depths; only wall-clock and the (bounded) number
+  /// of in-flight blocks change. Ignored when use_blocks is false.
+  size_t pipeline_depth = 0;
 };
 
 /// \brief One GraphSAGE layer h' = ReLU(W [self || AGG(neigh)] + b) with an
@@ -109,6 +117,15 @@ class SageTrainer {
   nn::Matrix Infer(const AttributedGraph& graph, const nn::Matrix& features);
 
  private:
+  /// Pipeline-driven twins of TrainEpochs / Infer, taken when
+  /// config_.pipeline_depth >= 1 (and use_blocks): batch drawing + hop
+  /// sampling runs on the pipeline's sample lane, the feature gather on its
+  /// gather lane, and forward/backward/apply stays on the caller's thread.
+  void TrainEpochsPipelined(const AttributedGraph& graph,
+                            const nn::Matrix& features, uint32_t epochs);
+  nn::Matrix InferPipelined(const AttributedGraph& graph,
+                            const nn::Matrix& features);
+
   GnnConfig config_;
   Rng rng_;
   SageLayer layer1_;

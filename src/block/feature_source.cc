@@ -3,8 +3,11 @@
 #include <algorithm>
 #include <cstring>
 
+#include "block/sampled_block.h"
 #include "cluster/cluster.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "ops/hop_cache.h"
 
 namespace aligraph {
 namespace block {
@@ -66,6 +69,43 @@ Status ClusterFeatureSource::Gather(std::span<const VertexId> vertices,
   }
   if (ok != nullptr) *ok = std::move(slot_ok);
   return status;
+}
+
+nn::Matrix GatherBlockFeatures(const SampledBlock& blk, FeatureSource& source,
+                               ops::HopEmbeddingCache* row_cache) {
+  nn::Matrix x(blk.num_vertices(), source.dim());
+  std::vector<uint8_t> present;
+  if (row_cache != nullptr) {
+    row_cache->LookupRows(0, blk.globals(), &x, &present);
+  } else {
+    present.assign(blk.num_vertices(), 0);
+  }
+  std::vector<VertexId> missing;
+  std::vector<uint32_t> missing_rows;
+  for (size_t i = 0; i < blk.num_vertices(); ++i) {
+    if (present[i] != 0) continue;
+    missing.push_back(blk.globals()[i]);
+    missing_rows.push_back(static_cast<uint32_t>(i));
+  }
+  if (missing.empty()) return x;
+  nn::Matrix fetched(missing.size(), source.dim());
+  std::vector<uint8_t> ok;
+  (void)source.Gather(missing, &fetched, &ok);
+  for (size_t k = 0; k < missing.size(); ++k) {
+    auto src = fetched.Row(k);
+    std::copy(src.begin(), src.end(), x.Row(missing_rows[k]).begin());
+  }
+  if (obs::Counter* bytes = obs::DefaultCounter("block.gather_bytes")) {
+    bytes->Add(static_cast<uint64_t>(fetched.size()) * sizeof(float));
+  }
+  if (row_cache != nullptr) {
+    // `ok` doubles as the skip mask: failed rows read 0 == "insert", so
+    // flip it — only successfully fetched rows enter the cache.
+    std::vector<uint8_t> skip(missing.size(), 0);
+    for (size_t k = 0; k < missing.size(); ++k) skip[k] = ok[k] == 0 ? 1 : 0;
+    row_cache->InsertRows(0, missing, fetched, &skip);
+  }
+  return x;
 }
 
 }  // namespace block

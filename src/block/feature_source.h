@@ -27,7 +27,13 @@ namespace aligraph {
 class Cluster;
 struct CommStats;
 
+namespace ops {
+class HopEmbeddingCache;
+}  // namespace ops
+
 namespace block {
+
+class SampledBlock;
 
 /// \brief Batched feature-row provider for block gathering.
 class FeatureSource {
@@ -98,6 +104,17 @@ class ClusterFeatureSource : public FeatureSource {
   size_t dim_;
   CommStats* stats_;
 };
+
+/// Materializes a block's [num_vertices, d] feature matrix: the GATHER
+/// stage of block execution, callable on its own so the pipeline can
+/// schedule it on a dedicated lane instead of running it inline after the
+/// sample. Rows already held by `row_cache` (keyed hop 0 by global id) are
+/// reused bitwise; only the missing residue is fetched from `source` and —
+/// when the fetch succeeded — admitted to the cache. Only the residue's
+/// bytes are charged to "block.gather_bytes"; rows whose fetch failed stay
+/// zero and are NOT admitted. Pass a null cache for a plain full gather.
+nn::Matrix GatherBlockFeatures(const SampledBlock& blk, FeatureSource& source,
+                               ops::HopEmbeddingCache* row_cache);
 
 }  // namespace block
 }  // namespace aligraph

@@ -27,7 +27,8 @@ BucketExecutor::BucketExecutor(size_t num_buckets, size_t ring_capacity,
                                uint32_t submit_spin_limit)
     : submit_spin_limit_(submit_spin_limit),
       obs_dropped_(obs::DefaultCounter("bucket.dropped_after_spin")),
-      obs_sleeps_(obs::DefaultCounter("bucket.submit_backoff_sleeps")) {
+      obs_sleeps_(obs::DefaultCounter("bucket.submit_backoff_sleeps")),
+      obs_depth_(obs::DefaultGauge("bucket.queue_depth")) {
   ALIGRAPH_CHECK_GT(num_buckets, 0u);
   buckets_.reserve(num_buckets);
   for (size_t i = 0; i < num_buckets; ++i) {
@@ -77,6 +78,11 @@ Status BucketExecutor::TrySubmit(uint64_t group, Op op) {
       if (obs_sleeps_ != nullptr) obs_sleeps_->Add(1);
     }
   }
+  // Approximate under concurrency (last write wins), which is fine for a
+  // gauge: what matters is whether the depth trends toward the ring bound.
+  if (obs_depth_ != nullptr) {
+    obs_depth_->Set(static_cast<double>(queue_depth()));
+  }
   return Status::OK();
 }
 
@@ -95,6 +101,9 @@ void BucketExecutor::ConsumerLoop(Bucket* bucket) {
     if (bucket->ring.TryPop(&op)) {
       op();
       completed_.fetch_add(1, std::memory_order_release);
+      if (obs_depth_ != nullptr) {
+        obs_depth_->Set(static_cast<double>(queue_depth()));
+      }
       backoff.Reset();
     } else if (stop_.load(std::memory_order_acquire)) {
       return;

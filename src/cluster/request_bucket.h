@@ -23,6 +23,7 @@ namespace aligraph {
 
 namespace obs {
 class Counter;
+class Gauge;
 }  // namespace obs
 
 /// \brief Bounded multi-producer / single-consumer ring buffer.
@@ -156,6 +157,13 @@ class BucketExecutor {
     return submit_backoff_sleeps_.load(std::memory_order_relaxed);
   }
 
+  /// Ops enqueued but not yet executed, summed across every bucket.
+  uint64_t queue_depth() const {
+    const uint64_t done = completed_.load(std::memory_order_relaxed);
+    const uint64_t sub = submitted_.load(std::memory_order_relaxed);
+    return sub > done ? sub - done : 0;
+  }
+
  private:
   struct Bucket {
     explicit Bucket(size_t cap) : ring(cap) {}
@@ -176,6 +184,7 @@ class BucketExecutor {
   // registry (null when observability is detached).
   obs::Counter* obs_dropped_ = nullptr;
   obs::Counter* obs_sleeps_ = nullptr;
+  obs::Gauge* obs_depth_ = nullptr;
 };
 
 }  // namespace aligraph

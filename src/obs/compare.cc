@@ -70,13 +70,28 @@ std::string CompareResult::ToString() const {
 Result<CompareResult> CompareReports(const JsonValue& baseline,
                                      const JsonValue& candidate,
                                      const CompareOptions& options) {
+  return CompareReports(baseline, std::vector<const JsonValue*>{&candidate},
+                        options);
+}
+
+Result<CompareResult> CompareReports(
+    const JsonValue& baseline, const std::vector<const JsonValue*>& candidates,
+    const CompareOptions& options) {
   const JsonValue* base_metrics = baseline.Find("metrics");
   if (base_metrics == nullptr || !base_metrics->IsObject()) {
     return Status::InvalidArgument("baseline has no \"metrics\" object");
   }
-  const JsonValue* cand_metrics = candidate.Find("metrics");
-  if (cand_metrics == nullptr || !cand_metrics->IsObject()) {
-    return Status::InvalidArgument("candidate has no \"metrics\" object");
+  if (candidates.empty()) {
+    return Status::InvalidArgument("no candidate reports");
+  }
+  std::vector<const JsonValue*> cand_metrics;
+  cand_metrics.reserve(candidates.size());
+  for (const JsonValue* candidate : candidates) {
+    const JsonValue* metrics = candidate->Find("metrics");
+    if (metrics == nullptr || !metrics->IsObject()) {
+      return Status::InvalidArgument("candidate has no \"metrics\" object");
+    }
+    cand_metrics.push_back(metrics);
   }
 
   CompareResult result;
@@ -93,22 +108,42 @@ Result<CompareResult> CompareReports(const JsonValue& baseline,
                       ? options.default_tolerance
                       : tol->second;
 
-    const JsonValue* cand = cand_metrics->Find(name);
-    if (cand == nullptr || !cand->IsNumber()) {
+    // Last candidate report carrying the metric wins.
+    const JsonValue* cand = nullptr;
+    for (auto it = cand_metrics.rbegin(); it != cand_metrics.rend(); ++it) {
+      const JsonValue* found = (*it)->Find(name);
+      if (found != nullptr && found->IsNumber()) {
+        cand = found;
+        break;
+      }
+    }
+    if (cand == nullptr) {
       m.verdict = MetricVerdict::kMissing;
       ++result.missing;
       result.metrics.push_back(std::move(m));
       continue;
     }
     m.candidate = cand->number;
-    const double bound =
-        m.baseline * (1.0 + m.tolerance) + options.absolute_slack;
-    if (m.candidate > bound) {
-      m.verdict = MetricVerdict::kRegressed;
-      ++result.regressed;
-    } else if (m.candidate < m.baseline) {
-      m.verdict = MetricVerdict::kImproved;
-      ++result.improved;
+    if (options.higher_is_better.count(name) != 0) {
+      const double bound =
+          m.baseline * (1.0 - m.tolerance) - options.absolute_slack;
+      if (m.candidate < bound) {
+        m.verdict = MetricVerdict::kRegressed;
+        ++result.regressed;
+      } else if (m.candidate > m.baseline) {
+        m.verdict = MetricVerdict::kImproved;
+        ++result.improved;
+      }
+    } else {
+      const double bound =
+          m.baseline * (1.0 + m.tolerance) + options.absolute_slack;
+      if (m.candidate > bound) {
+        m.verdict = MetricVerdict::kRegressed;
+        ++result.regressed;
+      } else if (m.candidate < m.baseline) {
+        m.verdict = MetricVerdict::kImproved;
+        ++result.improved;
+      }
     }
     result.metrics.push_back(std::move(m));
   }

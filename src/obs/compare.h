@@ -5,16 +5,20 @@
 /// The gate walks the BASELINE's "metrics" object — the baseline defines
 /// the contract; extra candidate metrics (wall-clock numbers, new
 /// experiments) are ignored so only the deterministic modeled-time metrics
-/// need committing. Metrics are lower-is-better: a candidate value above
-/// baseline * (1 + tolerance) + slack is a regression, below is an
-/// improvement (reported, never fatal). A metric present in the baseline
-/// but missing from the candidate fails the gate — silently dropping a
-/// guarded number must not pass CI.
+/// need committing. Metrics default to lower-is-better: a candidate value
+/// above baseline * (1 + tolerance) + slack is a regression, below is an
+/// improvement (reported, never fatal). Metrics named in
+/// CompareOptions::higher_is_better flip the direction (speedups, hit
+/// rates): below baseline * (1 - tolerance) - slack regresses, above
+/// baseline improves. A metric present in the baseline but missing from
+/// every candidate fails the gate — silently dropping a guarded number must
+/// not pass CI.
 
 #ifndef ALIGRAPH_OBS_COMPARE_H_
 #define ALIGRAPH_OBS_COMPARE_H_
 
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -33,6 +37,10 @@ struct CompareOptions {
   double absolute_slack = 1e-6;
   /// Per-metric overrides of default_tolerance, keyed by metric name.
   std::map<std::string, double> per_metric_tolerance;
+  /// Metrics where LARGER is better (speedups, cache hit rates): the gate
+  /// fails when the candidate falls below baseline * (1 - tolerance) -
+  /// slack instead of rising above the upper bound.
+  std::set<std::string> higher_is_better;
 };
 
 enum class MetricVerdict { kPass, kImproved, kRegressed, kMissing };
@@ -70,6 +78,16 @@ struct CompareResult {
 Result<CompareResult> CompareReports(const JsonValue& baseline,
                                      const JsonValue& candidate,
                                      const CompareOptions& options = {});
+
+/// Multi-candidate variant: one baseline may be covered by SEVERAL run
+/// reports (e.g. the table4 and table5 smoke runs each produce part of
+/// bench/baseline.json's contract). Candidates are searched back to front,
+/// so the last report containing a metric wins; a metric absent from every
+/// candidate is missing. Every candidate must still carry a "metrics"
+/// object, and the list must be non-empty.
+Result<CompareResult> CompareReports(
+    const JsonValue& baseline, const std::vector<const JsonValue*>& candidates,
+    const CompareOptions& options = {});
 
 /// Convenience: parse both JSON documents, then CompareReports.
 Result<CompareResult> CompareReportJson(const std::string& baseline_json,

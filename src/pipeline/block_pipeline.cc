@@ -1,0 +1,155 @@
+#include "pipeline/block_pipeline.h"
+
+#include <chrono>
+#include <memory>
+#include <utility>
+
+#include "common/timer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/bounded_queue.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace pipeline {
+
+namespace {
+
+/// One batch in flight between stages. unique_ptr'd through the queues so a
+/// handoff moves a pointer, not the block's CSRs and feature matrix.
+struct Batch {
+  size_t index = 0;
+  std::any user;
+  block::SampledBlock block;
+  nn::Matrix features;
+  /// The batch's trace identity, minted on the sample lane; every stage
+  /// adopts it so its span parents under the same "pipeline/batch" root.
+  obs::TraceContext trace;
+  std::chrono::steady_clock::time_point start;
+};
+
+void Charge(obs::Counter* counter, const Timer& timer) {
+  if (counter != nullptr) {
+    counter->Add(static_cast<uint64_t>(timer.ElapsedMicros()));
+  }
+}
+
+}  // namespace
+
+BlockPipeline::BlockPipeline(PipelineConfig config)
+    : config_(config),
+      sample_lane_(1, "pipeline.sample"),
+      gather_lane_(1, "pipeline.gather"),
+      busy_sample_(obs::DefaultCounter("pipeline.stage_busy_us.sample")),
+      busy_gather_(obs::DefaultCounter("pipeline.stage_busy_us.gather")),
+      busy_compute_(obs::DefaultCounter("pipeline.stage_busy_us.compute")),
+      stall_sample_(obs::DefaultCounter("pipeline.stall_us.sample")),
+      stall_gather_(obs::DefaultCounter("pipeline.stall_us.gather")),
+      stall_compute_(obs::DefaultCounter("pipeline.stall_us.compute")),
+      batches_(obs::DefaultCounter("pipeline.batches")),
+      depth_sampled_(obs::DefaultGauge("pipeline.queue_depth.sampled")),
+      depth_gathered_(obs::DefaultGauge("pipeline.queue_depth.gathered")) {
+  if (config_.depth == 0) config_.depth = 1;
+}
+
+Status BlockPipeline::Run(NeighborhoodSampler& sampler,
+                          NeighborSource& source, EdgeType type,
+                          std::span<const uint32_t> fans, size_t num_batches,
+                          const RootsFn& roots, const GatherFn& gather,
+                          const ComputeFn& compute) {
+  // sample -> gather and gather -> compute handoffs. Producer-side waits
+  // (queue full) are charged to the producing stage, consumer-side waits
+  // (queue empty) to the consuming stage.
+  BoundedQueue<std::unique_ptr<Batch>> sampled(config_.depth, depth_sampled_,
+                                               stall_sample_, stall_gather_);
+  BoundedQueue<std::unique_ptr<Batch>> gathered(config_.depth, depth_gathered_,
+                                                stall_gather_, stall_compute_);
+
+  // Stage 1 — sample lane. One long-lived task per Run keeps batch order
+  // trivial and avoids a Submit per batch: the loop itself is the stage.
+  const Status sample_submitted = sample_lane_.Submit([&] {
+    for (size_t b = 0; b < num_batches; ++b) {
+      auto batch = std::make_unique<Batch>();
+      batch->index = b;
+      // Mint the batch's trace root here, at first touch: all three stage
+      // spans adopt this context, so the batch stays one causal tree even
+      // though its stages run on three threads.
+      const uint64_t root_id = obs::NextSpanId();
+      batch->trace = obs::TraceContext{root_id, root_id};
+      batch->start = std::chrono::steady_clock::now();
+      obs::ScopedTraceContext adopt(batch->trace);
+      {
+        obs::ScopedSpan span("pipeline/sample");
+        Timer busy;
+        const std::vector<VertexId> batch_roots = roots(b, &batch->user);
+        // Gather deliberately NOT passed: it is the next stage.
+        batch->block = sampler.SampleBlock(source, batch_roots, type, fans,
+                                           /*pool=*/nullptr,
+                                           /*features=*/nullptr);
+        Charge(busy_sample_, busy);
+      }
+      if (!sampled.Push(std::move(batch))) return;  // downstream closed
+    }
+    sampled.Close();
+  });
+  if (!sample_submitted.ok()) {
+    sampled.Close();
+    return sample_submitted;
+  }
+
+  // Stage 2 — gather lane.
+  const Status gather_submitted = gather_lane_.Submit([&] {
+    std::unique_ptr<Batch> batch;
+    while (sampled.Pop(&batch)) {
+      obs::ScopedTraceContext adopt(batch->trace);
+      {
+        obs::ScopedSpan span("pipeline/gather");
+        Timer busy;
+        batch->features = gather(batch->block);
+        Charge(busy_gather_, busy);
+      }
+      if (!gathered.Push(std::move(batch))) return;  // downstream closed
+    }
+    gathered.Close();
+  });
+  if (!gather_submitted.ok()) {
+    // Unblock and retire the sample task before reporting: the stage loops
+    // only reference this frame, so they must not outlive it.
+    sampled.Close();
+    gathered.Close();
+    sample_lane_.Wait();
+    return gather_submitted;
+  }
+
+  // Stage 3 — compute, on the caller's thread, in batch order.
+  obs::Tracer* tracer = obs::DefaultTracer();
+  std::unique_ptr<Batch> batch;
+  while (gathered.Pop(&batch)) {
+    obs::ScopedTraceContext adopt(batch->trace);
+    {
+      obs::ScopedSpan span("pipeline/compute");
+      Timer busy;
+      compute(batch->index, batch->block, batch->features, batch->user);
+      Charge(busy_compute_, busy);
+    }
+    if (batches_ != nullptr) batches_->Add(1);
+    if (tracer != nullptr) {
+      // Synthetic root covering the batch end to end. Recorded last (its
+      // children are already in the rings) with the ids minted on the
+      // sample lane, so timeline assembly sees one parentless span per
+      // batch whose children live on three different threads.
+      const auto duration_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - batch->start)
+              .count();
+      tracer->Record("pipeline/batch", /*depth=*/1, batch->trace,
+                     /*parent_span_id=*/0, batch->start, duration_ns);
+    }
+  }
+  sample_lane_.Wait();
+  gather_lane_.Wait();
+  return Status::OK();
+}
+
+}  // namespace pipeline
+}  // namespace aligraph

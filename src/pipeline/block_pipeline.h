@@ -1,0 +1,137 @@
+/// \file block_pipeline.h
+/// \brief 3-stage batch pipeline over the subgraph-block execution path:
+/// hop sampling for batch N+1 overlaps feature gathering for batch N and
+/// block compute for batch N-1.
+///
+/// The sequential block path (PR 4) runs SampleBlock -> gather -> forward
+/// strictly back to back per batch, so the PR 5 trace timelines show each
+/// stage idle two thirds of the time. BGL (PAPERS.md, arXiv:2112.08541)
+/// shows that overlapping graph-data I/O with compute is the dominant lever
+/// for end-to-end GNN throughput; this subsystem is that overlap, built
+/// from parts the repo already has:
+///
+///   sample lane (ThreadPool "pipeline.sample", 1 thread)
+///     batch b: roots(b) -> NeighborhoodSampler::SampleBlock (no gather)
+///        | BoundedQueue "sampled"  (capacity = depth)
+///   gather lane (ThreadPool "pipeline.gather", 1 thread)
+///     batch b: FeatureSource gather, one row per unique vertex
+///        | BoundedQueue "gathered" (capacity = depth)
+///   compute (the CALLER's thread)
+///     batch b: forward / backward / apply, in batch order
+///
+/// Each stage is single-threaded and processes batches in submission order,
+/// so every stateful participant keeps the exact call sequence of the
+/// sequential path: the sampler's RNG advances batch by batch on the sample
+/// lane, a row cache sees gathers in batch order on the gather lane, and
+/// model weights update in batch order on the caller thread. That is what
+/// makes pipelined results BIT-IDENTICAL to sequential execution — the
+/// overlap reorders work across *stages*, never within a stage.
+///
+/// The bounded queues double-buffer SampledBlocks: at most `depth` batches
+/// wait between adjacent stages (2 * depth + 3 alive in the worst case),
+/// capping peak memory regardless of how far the sampler could run ahead.
+///
+/// Tracing: the pipeline mints one TraceContext per batch on the sample
+/// lane and re-adopts it in every stage, so "pipeline/sample|gather|
+/// compute" spans from three different threads stay one causal tree under
+/// a synthetic "pipeline/batch" root; the Chrome trace export then shows
+/// adjacent batches' stage spans overlapping in time — the bubbles closing.
+
+#ifndef ALIGRAPH_PIPELINE_BLOCK_PIPELINE_H_
+#define ALIGRAPH_PIPELINE_BLOCK_PIPELINE_H_
+
+#include <any>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "block/sampled_block.h"
+#include "common/status.h"
+#include "common/threadpool.h"
+#include "graph/types.h"
+#include "nn/matrix.h"
+
+namespace aligraph {
+
+class NeighborhoodSampler;
+class NeighborSource;
+
+namespace obs {
+class Counter;
+class Gauge;
+}  // namespace obs
+
+namespace pipeline {
+
+/// \brief Pipeline shape knobs.
+struct PipelineConfig {
+  /// Capacity of each stage queue — how many batches may sit between two
+  /// adjacent stages. 1 already overlaps (classic double buffering per
+  /// handoff); 2-3 absorbs stage-time jitter. Peak in-flight batches is
+  /// bounded by 2 * depth + 3 (one resident per stage plus the queues).
+  size_t depth = 2;
+};
+
+/// \brief Runs batches through sample -> gather -> compute with bounded
+/// overlap. Reusable: construct once, Run() any number of batch streams.
+class BlockPipeline {
+ public:
+  /// Produces batch b's roots; runs on the SAMPLE lane, strictly in batch
+  /// order. `user` may be filled with per-batch payload (e.g. the training
+  /// pairs drawn alongside the roots) and is handed to the compute stage
+  /// with the batch — it rides the stage queues, so no extra locking.
+  using RootsFn = std::function<std::vector<VertexId>(size_t batch,
+                                                      std::any* user)>;
+
+  /// Gathers the block's [num_vertices, dim] feature rows; runs on the
+  /// GATHER lane, strictly in batch order.
+  using GatherFn = std::function<nn::Matrix(const block::SampledBlock&)>;
+
+  /// Consumes the finished batch; runs on the CALLER's thread, strictly in
+  /// batch order.
+  using ComputeFn = std::function<void(size_t batch,
+                                       const block::SampledBlock& blk,
+                                       const nn::Matrix& features,
+                                       std::any& user)>;
+
+  explicit BlockPipeline(PipelineConfig config = {});
+
+  BlockPipeline(const BlockPipeline&) = delete;
+  BlockPipeline& operator=(const BlockPipeline&) = delete;
+
+  /// Streams `num_batches` batches through the three stages. Blocks until
+  /// every batch has been computed. Returns FailedPrecondition when a stage
+  /// lane was shut down underneath the pipeline; OK otherwise.
+  ///
+  /// The sampler is driven WITHOUT its inline feature gather (that is the
+  /// whole point: gather is a separately scheduled stage) and without a
+  /// draw pool — per-stage threading comes from the lanes, keeping draws
+  /// bit-identical to the pool-less sequential path.
+  Status Run(NeighborhoodSampler& sampler, NeighborSource& source,
+             EdgeType type, std::span<const uint32_t> fans,
+             size_t num_batches, const RootsFn& roots, const GatherFn& gather,
+             const ComputeFn& compute);
+
+  const PipelineConfig& config() const { return config_; }
+
+ private:
+  PipelineConfig config_;
+  ThreadPool sample_lane_;
+  ThreadPool gather_lane_;
+  // Handles resolved from the default metrics registry at construction
+  // (all null when observability is detached).
+  obs::Counter* busy_sample_ = nullptr;
+  obs::Counter* busy_gather_ = nullptr;
+  obs::Counter* busy_compute_ = nullptr;
+  obs::Counter* stall_sample_ = nullptr;
+  obs::Counter* stall_gather_ = nullptr;
+  obs::Counter* stall_compute_ = nullptr;
+  obs::Counter* batches_ = nullptr;
+  obs::Gauge* depth_sampled_ = nullptr;
+  obs::Gauge* depth_gathered_ = nullptr;
+};
+
+}  // namespace pipeline
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_PIPELINE_BLOCK_PIPELINE_H_

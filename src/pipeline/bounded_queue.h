@@ -1,0 +1,129 @@
+/// \file bounded_queue.h
+/// \brief Bounded MPMC handoff queue between pipeline stages.
+///
+/// The stage queues are what turn three sequential phases into a pipeline:
+/// a producer stage pushes finished batches and blocks only when `capacity`
+/// batches are already in flight (that bound IS the double-buffering memory
+/// cap — at most `capacity` SampledBlocks live between any two stages), and
+/// a consumer stage pops in FIFO order, blocking only when the producer has
+/// fallen behind. Both directions of blocking are stalls the pipeline wants
+/// to see: the queue charges producer wait time and consumer wait time to
+/// separate "pipeline.stall_us.*" counters and keeps a depth gauge current,
+/// so a trace showing bubbles can be cross-checked against which queue ran
+/// full (downstream too slow) or empty (upstream too slow).
+///
+/// A plain mutex + two condvars is deliberate: handoffs happen per BATCH
+/// (hundreds per second), not per vertex, so lock cost is noise, and the
+/// blocking semantics stay trivially correct under TSan. The lock-free
+/// MpscRing in cluster/ covers the per-operation hot path instead.
+
+#ifndef ALIGRAPH_PIPELINE_BOUNDED_QUEUE_H_
+#define ALIGRAPH_PIPELINE_BOUNDED_QUEUE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+#include "common/logging.h"
+#include "obs/metrics.h"
+
+namespace aligraph {
+namespace pipeline {
+
+/// \brief Bounded blocking FIFO. Push blocks while full, Pop while empty;
+/// Close() wakes every waiter — pushes after Close are rejected, pops drain
+/// the remaining items and then return false.
+template <typename T>
+class BoundedQueue {
+ public:
+  /// \param capacity max items in flight (>= 1).
+  /// \param depth gauge updated with the queue size on every transition.
+  /// \param push_stall_us counter charged with producer-side blocked time.
+  /// \param pop_stall_us counter charged with consumer-side blocked time.
+  /// Any observability handle may be null (detached).
+  explicit BoundedQueue(size_t capacity, obs::Gauge* depth = nullptr,
+                        obs::Counter* push_stall_us = nullptr,
+                        obs::Counter* pop_stall_us = nullptr)
+      : capacity_(capacity), depth_(depth), push_stall_us_(push_stall_us),
+        pop_stall_us_(pop_stall_us) {
+    ALIGRAPH_CHECK_GT(capacity, 0u);
+  }
+
+  /// Blocks until a slot frees up, then enqueues. Returns false (dropping
+  /// `value`) when the queue was closed.
+  bool Push(T value) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.size() >= capacity_ && !closed_) {
+      const auto blocked = std::chrono::steady_clock::now();
+      cv_not_full_.wait(
+          lock, [this] { return items_.size() < capacity_ || closed_; });
+      Charge(push_stall_us_, blocked);
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(value));
+    if (depth_ != nullptr) depth_->Set(static_cast<double>(items_.size()));
+    lock.unlock();
+    cv_not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available, pops it in FIFO order. Returns
+  /// false when the queue is closed AND drained.
+  bool Pop(T* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      const auto blocked = std::chrono::steady_clock::now();
+      cv_not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      Charge(pop_stall_us_, blocked);
+    }
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    if (depth_ != nullptr) depth_->Set(static_cast<double>(items_.size()));
+    lock.unlock();
+    cv_not_full_.notify_one();
+    return true;
+  }
+
+  /// Rejects future pushes and wakes all waiters; already-queued items stay
+  /// poppable. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_not_full_.notify_all();
+    cv_not_empty_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+ private:
+  static void Charge(obs::Counter* counter,
+                     std::chrono::steady_clock::time_point since) {
+    if (counter == nullptr) return;
+    const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - since);
+    counter->Add(static_cast<uint64_t>(us.count()));
+  }
+
+  const size_t capacity_;
+  obs::Gauge* depth_;
+  obs::Counter* push_stall_us_;
+  obs::Counter* pop_stall_us_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_not_full_;
+  std::condition_variable cv_not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pipeline
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_PIPELINE_BOUNDED_QUEUE_H_

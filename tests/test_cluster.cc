@@ -16,6 +16,7 @@
 #include "cluster/request_bucket.h"
 #include "gen/powerlaw.h"
 #include "gen/taobao.h"
+#include "obs/metrics.h"
 #include "partition/partitioner.h"
 
 namespace aligraph {
@@ -382,6 +383,32 @@ TEST(BucketExecutorTest, TrySubmitReportsBackpressureAsResourceExhausted) {
   release.store(true);
   exec.Drain();
   EXPECT_EQ(ran.load(), 1 + 4);  // the rejected op never ran
+}
+
+TEST(BucketExecutorTest, ExportsQueueDepthGauge) {
+  // The executor resolves "bucket.queue_depth" from the default registry at
+  // construction; with the single consumer stalled every accepted op stays
+  // in flight, so the gauge (last set on the submit path) reads exactly the
+  // number of accepted ops. After Drain the accessor must be back to zero.
+  obs::MetricsRegistry registry;
+  obs::SetDefault(&registry);
+  {
+    BucketExecutor exec(/*num_buckets=*/1, /*ring_capacity=*/8,
+                        /*submit_spin_limit=*/16);
+    std::atomic<bool> release{false};
+    ASSERT_TRUE(exec.TrySubmit(0, [&] {
+      while (!release.load()) std::this_thread::yield();
+    }).ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(exec.TrySubmit(0, [] {}).ok());
+    }
+    EXPECT_EQ(exec.queue_depth(), 5u);
+    EXPECT_EQ(registry.GetGauge("bucket.queue_depth")->Value(), 5.0);
+    release.store(true);
+    exec.Drain();
+    EXPECT_EQ(exec.queue_depth(), 0u);
+  }
+  obs::SetDefault(nullptr);
 }
 
 TEST(MpscRingTest, MultiProducerStressNoLossNoDuplication) {

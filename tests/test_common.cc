@@ -6,6 +6,7 @@
 #include <atomic>
 #include <cmath>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "common/alias_table.h"
@@ -241,6 +242,42 @@ TEST(ThreadPoolTest, ReusableAcrossWaits) {
 TEST(ThreadPoolTest, ParallelForZeroIsNoop) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownIsRejected) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_TRUE(pool.Submit([&count] { ++count; }).ok());
+  }
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 32);  // queued work drains before the join
+  const Status rejected = pool.Submit([&count] { ++count; });
+  EXPECT_FALSE(rejected.ok());  // no silent drop, no enqueue-after-join race
+  EXPECT_EQ(count.load(), 32);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, ShutdownRaceNeverLosesAcceptedTasks) {
+  // Submitters race Shutdown from another thread: every Submit must either
+  // return a failed Status or have its task run — accepted work is never
+  // dropped. TSan covers the queue/flag ordering.
+  for (int round = 0; round < 8; ++round) {
+    ThreadPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 64; ++i) {
+          if (pool.Submit([&ran] { ++ran; }).ok()) ++accepted;
+        }
+      });
+    }
+    pool.Shutdown();
+    for (auto& s : submitters) s.join();
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
 }
 
 TEST(SummaryTest, BasicStatistics) {

@@ -1,13 +1,19 @@
 /// \file bench_compare.cc
-/// \brief CLI regression gate over two run-report JSONs.
+/// \brief CLI regression gate over run-report JSONs.
 ///
 /// Usage:
 ///   bench_compare [--tolerance=0.10] [--metric-tolerance=NAME=TOL]...
-///                 <baseline.json> <candidate.json>
+///                 [--higher-better=NAME]...
+///                 <baseline.json> <candidate.json> [candidate2.json]...
 ///
-/// Walks the baseline's "metrics" object (lower is better) and compares
-/// each against the candidate with the given relative tolerance;
-/// --metric-tolerance overrides the default for one metric and may repeat.
+/// Walks the baseline's "metrics" object and compares each against the
+/// candidates with the given relative tolerance; --metric-tolerance
+/// overrides the default for one metric and may repeat. Metrics default to
+/// lower-is-better; --higher-better flips one metric's direction (speedups,
+/// hit rates) and may repeat. Several candidate reports may each cover part
+/// of the baseline's contract (e.g. the table4 and table5 smoke runs): the
+/// LAST candidate carrying a metric wins, and only a metric absent from all
+/// of them counts as missing.
 /// Exit codes: 0 = gate passed, 1 = regression or missing metric,
 /// 2 = usage / unreadable file / malformed JSON.
 #include <cstdio>
@@ -16,6 +22,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/compare.h"
 
@@ -24,7 +31,8 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--tolerance=R] [--metric-tolerance=NAME=R]... "
-               "<baseline.json> <candidate.json>\n",
+               "[--higher-better=NAME]... "
+               "<baseline.json> <candidate.json>...\n",
                argv0);
   return 2;
 }
@@ -43,7 +51,7 @@ bool ReadFile(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   aligraph::obs::CompareOptions options;
   std::string baseline_path;
-  std::string candidate_path;
+  std::vector<std::string> candidate_paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
     if (std::strncmp(arg, "--tolerance=", 12) == 0) {
@@ -64,39 +72,63 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.per_metric_tolerance[std::string(spec, eq)] = tol;
+    } else if (std::strncmp(arg, "--higher-better=", 16) == 0) {
+      if (arg[16] == '\0') return Usage(argv[0]);
+      options.higher_is_better.insert(arg + 16);
     } else if (std::strncmp(arg, "--", 2) == 0) {
       return Usage(argv[0]);
     } else if (baseline_path.empty()) {
       baseline_path = arg;
-    } else if (candidate_path.empty()) {
-      candidate_path = arg;
     } else {
-      return Usage(argv[0]);
+      candidate_paths.push_back(arg);
     }
   }
-  if (candidate_path.empty()) return Usage(argv[0]);
+  if (candidate_paths.empty()) return Usage(argv[0]);
 
   std::string baseline_json;
   if (!ReadFile(baseline_path, &baseline_json)) {
     std::fprintf(stderr, "cannot read baseline: %s\n", baseline_path.c_str());
     return 2;
   }
-  std::string candidate_json;
-  if (!ReadFile(candidate_path, &candidate_json)) {
-    std::fprintf(stderr, "cannot read candidate: %s\n",
-                 candidate_path.c_str());
+  const auto baseline = aligraph::obs::JsonValue::Parse(baseline_json);
+  if (!baseline.ok()) {
+    std::fprintf(stderr, "bench_compare: baseline: %s\n",
+                 baseline.status().ToString().c_str());
     return 2;
   }
 
-  const auto result = aligraph::obs::CompareReportJson(
-      baseline_json, candidate_json, options);
+  std::vector<aligraph::obs::JsonValue> candidates;
+  candidates.reserve(candidate_paths.size());
+  for (const std::string& path : candidate_paths) {
+    std::string json;
+    if (!ReadFile(path, &json)) {
+      std::fprintf(stderr, "cannot read candidate: %s\n", path.c_str());
+      return 2;
+    }
+    auto parsed = aligraph::obs::JsonValue::Parse(json);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "bench_compare: %s: %s\n", path.c_str(),
+                   parsed.status().ToString().c_str());
+      return 2;
+    }
+    candidates.push_back(std::move(*parsed));
+  }
+  std::vector<const aligraph::obs::JsonValue*> candidate_ptrs;
+  candidate_ptrs.reserve(candidates.size());
+  for (const auto& c : candidates) candidate_ptrs.push_back(&c);
+
+  const auto result =
+      aligraph::obs::CompareReports(*baseline, candidate_ptrs, options);
   if (!result.ok()) {
     std::fprintf(stderr, "bench_compare: %s\n",
                  result.status().ToString().c_str());
     return 2;
   }
-  std::printf("baseline:  %s\ncandidate: %s\n%s\n", baseline_path.c_str(),
-              candidate_path.c_str(), result->ToString().c_str());
+  std::printf("baseline:  %s\n", baseline_path.c_str());
+  for (const std::string& path : candidate_paths) {
+    std::printf("candidate: %s\n", path.c_str());
+  }
+  std::printf("%s\n", result->ToString().c_str());
   if (!result->ok()) {
     std::printf("GATE FAILED\n");
     return 1;
