@@ -1,0 +1,26 @@
+#include "gen/zipf.h"
+
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace aligraph {
+namespace gen {
+
+ZipfSampler::ZipfSampler(const ZipfConfig& config)
+    : config_(config), rng_(config.seed) {
+  ALIGRAPH_CHECK_GT(config.num_ranks, 0u);
+  ALIGRAPH_CHECK_GE(config.exponent, 0.0);
+  std::vector<double> weights(config.num_ranks);
+  double total = 0;
+  for (size_t r = 0; r < config.num_ranks; ++r) {
+    weights[r] = std::pow(static_cast<double>(r + 1), -config.exponent);
+    total += weights[r];
+  }
+  table_.Build(weights);
+  pmf_.resize(weights.size());
+  for (size_t r = 0; r < weights.size(); ++r) pmf_[r] = weights[r] / total;
+}
+
+}  // namespace gen
+}  // namespace aligraph

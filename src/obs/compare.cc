@@ -107,6 +107,10 @@ Result<CompareResult> CompareReports(
     m.tolerance = tol == options.per_metric_tolerance.end()
                       ? options.default_tolerance
                       : tol->second;
+    auto slack_it = options.per_metric_slack.find(name);
+    const double slack = slack_it == options.per_metric_slack.end()
+                             ? options.absolute_slack
+                             : slack_it->second;
 
     // Last candidate report carrying the metric wins.
     const JsonValue* cand = nullptr;
@@ -125,8 +129,7 @@ Result<CompareResult> CompareReports(
     }
     m.candidate = cand->number;
     if (options.higher_is_better.count(name) != 0) {
-      const double bound =
-          m.baseline * (1.0 - m.tolerance) - options.absolute_slack;
+      const double bound = m.baseline * (1.0 - m.tolerance) - slack;
       if (m.candidate < bound) {
         m.verdict = MetricVerdict::kRegressed;
         ++result.regressed;
@@ -135,8 +138,7 @@ Result<CompareResult> CompareReports(
         ++result.improved;
       }
     } else {
-      const double bound =
-          m.baseline * (1.0 + m.tolerance) + options.absolute_slack;
+      const double bound = m.baseline * (1.0 + m.tolerance) + slack;
       if (m.candidate > bound) {
         m.verdict = MetricVerdict::kRegressed;
         ++result.regressed;

@@ -37,6 +37,11 @@ struct CompareOptions {
   double absolute_slack = 1e-6;
   /// Per-metric overrides of default_tolerance, keyed by metric name.
   std::map<std::string, double> per_metric_tolerance;
+  /// Per-metric overrides of absolute_slack, keyed by metric name. Latency
+  /// percentile keys want this: a tail percentile sits on one observation,
+  /// so a few microseconds of absolute headroom is the right units for the
+  /// bound, not a relative fraction of an arbitrary baseline.
+  std::map<std::string, double> per_metric_slack;
   /// Metrics where LARGER is better (speedups, cache hit rates): the gate
   /// fails when the candidate falls below baseline * (1 - tolerance) -
   /// slack instead of rising above the upper bound.

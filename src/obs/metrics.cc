@@ -18,9 +18,18 @@ double HistogramSnapshot::Percentile(double p) const {
   const double rank = p / 100.0 * static_cast<double>(count);
   uint64_t cumulative = 0;
   for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    const double below = static_cast<double>(cumulative);
     cumulative += counts[i];
     if (static_cast<double>(cumulative) >= rank) {
-      return i < bounds.size() ? bounds[i] : bounds.back();
+      if (i >= bounds.size()) {
+        // Overflow bucket: no upper edge to interpolate toward.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = i == 0 ? 0.0 : bounds[i - 1];
+      const double frac = std::clamp(
+          (rank - below) / static_cast<double>(counts[i]), 0.0, 1.0);
+      return lo + (bounds[i] - lo) * frac;
     }
   }
   return bounds.empty() ? 0.0 : bounds.back();

@@ -94,8 +94,12 @@ struct HistogramSnapshot {
 
   double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
 
-  /// Approximate percentile: the upper bound of the bucket containing the
-  /// rank (the last finite bound for the overflow bucket).
+  /// Approximate percentile for p in [0, 100]: locates the bucket containing
+  /// the rank and interpolates linearly within it (assuming values spread
+  /// uniformly across the bucket), so fine tail percentiles — p99.9 for a
+  /// serving latency SLO — resolve below the bucket's upper bound instead of
+  /// snapping to it. The overflow bucket has no upper edge and degrades to
+  /// the last finite bound.
   double Percentile(double p) const;
 };
 

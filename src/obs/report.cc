@@ -426,7 +426,9 @@ std::string RunReport::ToJson() const {
     w.Key("sum").Value(h.sum);
     w.Key("mean").Value(h.mean());
     w.Key("p50").Value(h.Percentile(50));
+    w.Key("p95").Value(h.Percentile(95));
     w.Key("p99").Value(h.Percentile(99));
+    w.Key("p999").Value(h.Percentile(99.9));
     w.Key("bounds").BeginArray();
     for (const double b : h.bounds) w.Value(b);
     w.EndArray();

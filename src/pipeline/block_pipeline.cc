@@ -34,6 +34,23 @@ void Charge(obs::Counter* counter, const Timer& timer) {
   }
 }
 
+/// Emits the synthetic per-batch root span: parentless, covering the batch
+/// from first touch on the sample lane to now. Recorded after its children
+/// are already in the rings, with the ids minted at first touch, so
+/// timeline assembly sees exactly one root per batch regardless of which
+/// thread closes the batch out (compute for completed batches, the sample
+/// lane for dropped ones).
+void RecordBatchRoot(obs::Tracer* tracer, const char* name,
+                     const Batch& batch) {
+  if (tracer == nullptr) return;
+  const auto duration_ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - batch.start)
+          .count();
+  tracer->Record(name, /*depth=*/1, batch.trace,
+                 /*parent_span_id=*/0, batch.start, duration_ns);
+}
+
 }  // namespace
 
 BlockPipeline::BlockPipeline(PipelineConfig config)
@@ -57,6 +74,24 @@ Status BlockPipeline::Run(NeighborhoodSampler& sampler,
                           std::span<const uint32_t> fans, size_t num_batches,
                           const RootsFn& roots, const GatherFn& gather,
                           const ComputeFn& compute) {
+  return RunStages(
+      num_batches,
+      [&](size_t b, block::SampledBlock* block, std::any* user) {
+        const std::vector<VertexId> batch_roots = roots(b, user);
+        // Gather deliberately NOT passed: it is the next stage. No draw
+        // pool either — per-stage threading comes from the lanes, keeping
+        // draws bit-identical to the pool-less sequential path.
+        *block = sampler.SampleBlock(source, batch_roots, type, fans,
+                                     /*pool=*/nullptr,
+                                     /*features=*/nullptr);
+        return true;
+      },
+      gather, compute);
+}
+
+Status BlockPipeline::RunStages(size_t num_batches, const SampleFn& sample,
+                                const GatherFn& gather,
+                                const ComputeFn& compute) {
   // sample -> gather and gather -> compute handoffs. Producer-side waits
   // (queue full) are charged to the producing stage, consumer-side waits
   // (queue empty) to the consuming stage.
@@ -64,6 +99,8 @@ Status BlockPipeline::Run(NeighborhoodSampler& sampler,
                                                stall_sample_, stall_gather_);
   BoundedQueue<std::unique_ptr<Batch>> gathered(config_.depth, depth_gathered_,
                                                 stall_gather_, stall_compute_);
+
+  obs::Tracer* tracer = obs::DefaultTracer();
 
   // Stage 1 — sample lane. One long-lived task per Run keeps batch order
   // trivial and avoids a Submit per batch: the loop itself is the stage.
@@ -78,15 +115,19 @@ Status BlockPipeline::Run(NeighborhoodSampler& sampler,
       batch->trace = obs::TraceContext{root_id, root_id};
       batch->start = std::chrono::steady_clock::now();
       obs::ScopedTraceContext adopt(batch->trace);
+      bool admitted = false;
       {
-        obs::ScopedSpan span("pipeline/sample");
+        obs::ScopedSpan span(config_.sample_span);
         Timer busy;
-        const std::vector<VertexId> batch_roots = roots(b, &batch->user);
-        // Gather deliberately NOT passed: it is the next stage.
-        batch->block = sampler.SampleBlock(source, batch_roots, type, fans,
-                                           /*pool=*/nullptr,
-                                           /*features=*/nullptr);
+        admitted = sample(b, &batch->block, &batch->user);
         Charge(busy_sample_, busy);
+      }
+      if (!admitted) {
+        // Dropped at the source (shed / deadline abandoned): downstream
+        // stages never see it, but the batch still gets its root span so
+        // the trace timeline shows every offered batch, served or not.
+        RecordBatchRoot(tracer, config_.batch_span, *batch);
+        continue;
       }
       if (!sampled.Push(std::move(batch))) return;  // downstream closed
     }
@@ -103,7 +144,7 @@ Status BlockPipeline::Run(NeighborhoodSampler& sampler,
     while (sampled.Pop(&batch)) {
       obs::ScopedTraceContext adopt(batch->trace);
       {
-        obs::ScopedSpan span("pipeline/gather");
+        obs::ScopedSpan span(config_.gather_span);
         Timer busy;
         batch->features = gather(batch->block);
         Charge(busy_gather_, busy);
@@ -122,29 +163,17 @@ Status BlockPipeline::Run(NeighborhoodSampler& sampler,
   }
 
   // Stage 3 — compute, on the caller's thread, in batch order.
-  obs::Tracer* tracer = obs::DefaultTracer();
   std::unique_ptr<Batch> batch;
   while (gathered.Pop(&batch)) {
     obs::ScopedTraceContext adopt(batch->trace);
     {
-      obs::ScopedSpan span("pipeline/compute");
+      obs::ScopedSpan span(config_.compute_span);
       Timer busy;
       compute(batch->index, batch->block, batch->features, batch->user);
       Charge(busy_compute_, busy);
     }
     if (batches_ != nullptr) batches_->Add(1);
-    if (tracer != nullptr) {
-      // Synthetic root covering the batch end to end. Recorded last (its
-      // children are already in the rings) with the ids minted on the
-      // sample lane, so timeline assembly sees one parentless span per
-      // batch whose children live on three different threads.
-      const auto duration_ns =
-          std::chrono::duration_cast<std::chrono::nanoseconds>(
-              std::chrono::steady_clock::now() - batch->start)
-              .count();
-      tracer->Record("pipeline/batch", /*depth=*/1, batch->trace,
-                     /*parent_span_id=*/0, batch->start, duration_ns);
-    }
+    RecordBatchRoot(tracer, config_.batch_span, *batch);
   }
   sample_lane_.Wait();
   gather_lane_.Wait();

@@ -70,6 +70,14 @@ struct PipelineConfig {
   /// handoff); 2-3 absorbs stage-time jitter. Peak in-flight batches is
   /// bounded by 2 * depth + 3 (one resident per stage plus the queues).
   size_t depth = 2;
+  /// Span names recorded per batch (string literals only — spans keep the
+  /// pointer). The serving layer renames the root to "serve/request" so the
+  /// Chrome trace export and critical-path analyzer read as request
+  /// lifecycles; training keeps the defaults.
+  const char* batch_span = "pipeline/batch";
+  const char* sample_span = "pipeline/sample";
+  const char* gather_span = "pipeline/gather";
+  const char* compute_span = "pipeline/compute";
 };
 
 /// \brief Runs batches through sample -> gather -> compute with bounded
@@ -94,6 +102,16 @@ class BlockPipeline {
                                        const nn::Matrix& features,
                                        std::any& user)>;
 
+  /// Generalized first stage: produces batch b's block (and optional user
+  /// payload) on the SAMPLE lane, strictly in batch order. Returning false
+  /// DROPS the batch — the gather and compute stages never see it, only its
+  /// root + sample spans are recorded. The serving layer uses the drop to
+  /// shed or abandon requests at admission time without occupying the
+  /// downstream lanes.
+  using SampleFn = std::function<bool(size_t batch,
+                                      block::SampledBlock* block,
+                                      std::any* user)>;
+
   explicit BlockPipeline(PipelineConfig config = {});
 
   BlockPipeline(const BlockPipeline&) = delete;
@@ -111,6 +129,14 @@ class BlockPipeline {
              EdgeType type, std::span<const uint32_t> fans,
              size_t num_batches, const RootsFn& roots, const GatherFn& gather,
              const ComputeFn& compute);
+
+  /// Generalized entry point Run() delegates to: the caller owns the whole
+  /// first stage (its sampler, its RNG discipline, its per-batch admission
+  /// decisions) instead of handing the pipeline a NeighborhoodSampler to
+  /// drive. Stage ordering, queue bounds, metrics and per-batch trace trees
+  /// are identical to Run().
+  Status RunStages(size_t num_batches, const SampleFn& sample,
+                   const GatherFn& gather, const ComputeFn& compute);
 
   const PipelineConfig& config() const { return config_; }
 

@@ -1,0 +1,86 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/random.h"
+
+namespace aligraph {
+namespace serve {
+
+namespace {
+
+/// Domain-separation constants so the roots stream, the sampler-seed
+/// stream and the arrival stream never overlap even for adjacent ids.
+constexpr uint64_t kRootsSalt = 0x726f6f7473ULL;      // "roots"
+constexpr uint64_t kSamplerSalt = 0x73616d706cULL;    // "sampl"
+constexpr uint64_t kArrivalSalt = 0x6172726976ULL;    // "arriv"
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(const AttributedGraph& graph,
+                             const LoadConfig& config)
+    : config_(config),
+      zipf_(gen::ZipfConfig{
+          static_cast<size_t>(std::max<VertexId>(graph.num_vertices(), 1)),
+          config.zipf_exponent, config.seed}) {
+  ALIGRAPH_CHECK_GT(graph.num_vertices(), 0u);
+  ALIGRAPH_CHECK_GT(config_.roots_per_request, 0u);
+
+  // Degree ranking: rank r -> r-th highest out-degree vertex. Ties break
+  // toward the smaller id so the ranking is deterministic for a fixed graph.
+  by_degree_.resize(graph.num_vertices());
+  std::iota(by_degree_.begin(), by_degree_.end(), VertexId{0});
+  std::sort(by_degree_.begin(), by_degree_.end(),
+            [&graph](VertexId a, VertexId b) {
+              const size_t da = graph.OutDegree(a);
+              const size_t db = graph.OutDegree(b);
+              if (da != db) return da > db;
+              return a < b;
+            });
+
+  if (config_.mode == LoadConfig::Mode::kOpen) {
+    ALIGRAPH_CHECK_GT(config_.arrival_rate_rps, 0.0);
+    // Poisson process: i.i.d. exponential gaps with mean 1/rate, summed
+    // into absolute arrival times. One dedicated stream, so the schedule
+    // never shifts when per-request draws change.
+    open_arrivals_.resize(config_.num_requests);
+    Rng rng(Mix64(config_.seed ^ kArrivalSalt));
+    const double mean_gap_us = 1e6 / config_.arrival_rate_rps;
+    double t = 0.0;
+    for (uint64_t i = 0; i < config_.num_requests; ++i) {
+      double u = rng.NextDouble();
+      if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+      t += -std::log(1.0 - u) * mean_gap_us;
+      open_arrivals_[i] = t;
+    }
+  } else {
+    ALIGRAPH_CHECK_GT(config_.num_users, 0u);
+  }
+}
+
+std::vector<VertexId> LoadGenerator::RootsFor(uint64_t request_id) const {
+  // A private RNG per request, seeded from (config seed, id): draw order
+  // across requests cannot matter.
+  Rng rng(Mix64(config_.seed ^ kRootsSalt ^ Mix64(request_id + 1)));
+  std::vector<VertexId> roots(config_.roots_per_request);
+  for (VertexId& root : roots) {
+    root = by_degree_[zipf_.Sample(rng)];
+  }
+  return roots;
+}
+
+uint64_t LoadGenerator::RequestSeed(uint64_t request_id) const {
+  return Mix64(config_.seed ^ kSamplerSalt ^ Mix64(request_id + 0x9e3779b9ULL));
+}
+
+double LoadGenerator::OpenArrivalUs(uint64_t request_id) const {
+  ALIGRAPH_CHECK(config_.mode == LoadConfig::Mode::kOpen);
+  ALIGRAPH_CHECK_LT(request_id, open_arrivals_.size());
+  return open_arrivals_[request_id];
+}
+
+}  // namespace serve
+}  // namespace aligraph

@@ -1,0 +1,102 @@
+/// \file load_generator.h
+/// \brief Deterministic request-stream generator for the online serving
+/// layer: Zipf-distributed seed vertices over the graph's degree ranking,
+/// plus an open-loop Poisson arrival schedule.
+///
+/// Production GNN serving traffic is skewed — a few hot users / items
+/// dominate (the same power law Section 3.2's caching theorems exploit) —
+/// so the generator draws each request's seed vertices from a Zipf
+/// distribution over vertices ranked by out-degree: rank 0 is the highest-
+/// degree vertex. Everything is a pure function of (config seed, request
+/// id): roots, per-request sampler seeds, and the open-loop arrival
+/// schedule are reproducible across runs, threads and machines, which is
+/// what lets the serving bench gate modeled tail latency in CI and lets
+/// tests replay any accepted request offline and demand bit-identical
+/// embeddings.
+///
+/// Two driving modes:
+///   - OPEN loop: requests arrive on a fixed Poisson schedule regardless of
+///     completions (models independent external clients; the mode where
+///     queues actually build and tails appear).
+///   - CLOSED loop: a fixed population of users each waits for its previous
+///     request (plus think time) before issuing the next. Arrival times are
+///     completion-dependent, so ServeEngine computes them inside its
+///     discrete-event simulation; the generator only supplies each
+///     request's roots and seed.
+
+#ifndef ALIGRAPH_SERVE_LOAD_GENERATOR_H_
+#define ALIGRAPH_SERVE_LOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "gen/zipf.h"
+#include "graph/graph.h"
+
+namespace aligraph {
+namespace serve {
+
+/// \brief Shape of the generated request stream.
+struct LoadConfig {
+  enum class Mode {
+    kOpen,    ///< Poisson arrivals at arrival_rate_rps, completion-independent
+    kClosed,  ///< num_users clients, each: issue -> wait -> think -> reissue
+  };
+
+  Mode mode = Mode::kOpen;
+  /// Total requests in the stream.
+  uint64_t num_requests = 256;
+  /// Seed vertices per request (the k-hop query's batch of roots).
+  size_t roots_per_request = 4;
+  /// Zipf exponent over the degree ranking; 0 = uniform, ~1 = web-like skew.
+  double zipf_exponent = 0.9;
+  /// Open loop: mean arrival rate, requests per MODELED second.
+  double arrival_rate_rps = 2000.0;
+  /// Closed loop: concurrent client population.
+  size_t num_users = 8;
+  /// Closed loop: modeled think time between a completion and the user's
+  /// next request, microseconds.
+  double think_time_us = 1000.0;
+  uint64_t seed = 17;
+};
+
+/// \brief Deterministic request stream over one graph. Immutable after
+/// construction; all per-request queries are const and thread-safe.
+class LoadGenerator {
+ public:
+  LoadGenerator(const AttributedGraph& graph, const LoadConfig& config);
+
+  const LoadConfig& config() const { return config_; }
+
+  /// The request's seed vertices: roots_per_request Zipf draws over the
+  /// degree ranking. Pure function of (config seed, request id) — calling
+  /// twice, in any order, from any thread, returns the same vector.
+  std::vector<VertexId> RootsFor(uint64_t request_id) const;
+
+  /// Seed for the request's private NeighborhoodSampler. Deriving one
+  /// sampler per request (instead of sharing a stream) is what makes an
+  /// accepted request's draws independent of which OTHER requests were
+  /// shed or abandoned before it — the precondition for bit-identical
+  /// offline replay.
+  uint64_t RequestSeed(uint64_t request_id) const;
+
+  /// Open-loop modeled arrival time of request `id`, microseconds from the
+  /// stream start. Monotone in id (cumulative exponential gaps). Must only
+  /// be called in open mode.
+  double OpenArrivalUs(uint64_t request_id) const;
+
+  /// Vertex occupying `rank` in the degree ordering (rank 0 = highest
+  /// out-degree; ties break toward the smaller vertex id).
+  VertexId VertexAtRank(size_t rank) const { return by_degree_[rank]; }
+
+ private:
+  LoadConfig config_;
+  std::vector<VertexId> by_degree_;  ///< rank -> vertex, degree-descending
+  gen::ZipfSampler zipf_;
+  std::vector<double> open_arrivals_;  ///< open mode only; size num_requests
+};
+
+}  // namespace serve
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_SERVE_LOAD_GENERATOR_H_

@@ -1,0 +1,299 @@
+#include "serve/serve_engine.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <queue>
+#include <utility>
+
+#include "block/feature_source.h"
+#include "common/histogram.h"
+#include "common/logging.h"
+#include "common/timer.h"
+#include "nn/layers.h"
+#include "obs/metrics.h"
+#include "pipeline/block_pipeline.h"
+#include "sampling/sampler.h"
+
+namespace aligraph {
+namespace serve {
+
+namespace {
+
+/// FNV-1a over the embedding's bytes. Floats are hashed by bit pattern, so
+/// two embeddings fingerprint equal iff they are bit-identical — the exact
+/// contract the online-vs-offline tests assert.
+uint64_t FingerprintMatrix(const nn::Matrix& m) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    for (const float f : m.Row(i)) {
+      uint32_t bits;
+      std::memcpy(&bits, &f, sizeof(bits));
+      for (int shift = 0; shift < 32; shift += 8) {
+        h ^= (bits >> shift) & 0xffu;
+        h *= 0x100000001b3ULL;
+      }
+    }
+  }
+  return h;
+}
+
+size_t BlockEdges(const block::SampledBlock& blk) {
+  size_t edges = 0;
+  for (const block::BlockHop& hop : blk.hops()) edges += hop.num_edges();
+  return edges;
+}
+
+void Count(obs::Counter* c, uint64_t n = 1) {
+  if (c != nullptr) c->Add(n);
+}
+
+void Observe(obs::Histogram* h, double v) {
+  if (h != nullptr) h->Record(v);
+}
+
+}  // namespace
+
+std::string LatencyReport::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "offered=%llu completed=%llu shed=%llu missed=%llu | "
+      "p50=%.0fus p95=%.0fus p99=%.0fus p99.9=%.0fus max=%.0fus | "
+      "goodput=%.1frps shed=%.1f%% miss=%.1f%% peak_inflight=%zu",
+      static_cast<unsigned long long>(offered),
+      static_cast<unsigned long long>(completed),
+      static_cast<unsigned long long>(shed),
+      static_cast<unsigned long long>(deadline_missed), p50_us, p95_us,
+      p99_us, p999_us, max_us, goodput_rps, 100.0 * shed_rate,
+      100.0 * deadline_miss_rate, max_in_flight_observed);
+  return buf;
+}
+
+ServeEngine::ServeEngine(const AttributedGraph& graph,
+                         const nn::Matrix& features, const ServeConfig& config)
+    : graph_(graph),
+      features_(features),
+      config_(config),
+      rng_(config.seed),
+      layer1_(features.cols(), config.dim, /*maxpool=*/false, rng_),
+      layer2_(config.dim, config.dim, /*maxpool=*/false, rng_,
+              /*relu=*/false),
+      offered_(obs::DefaultCounter("serve.offered")),
+      completed_(obs::DefaultCounter("serve.completed")),
+      shed_(obs::DefaultCounter("serve.shed")),
+      deadline_missed_(obs::DefaultCounter("serve.deadline_missed")),
+      modeled_latency_(obs::DefaultHistogram("serve.modeled_latency_us")),
+      queue_wait_(obs::DefaultHistogram("serve.queue_wait_us")),
+      wall_latency_(obs::DefaultHistogram("serve.wall_latency_us")) {
+  ALIGRAPH_CHECK_GT(config_.max_in_flight, 0u);
+  ALIGRAPH_CHECK_GT(config_.lanes, 0u);
+  ALIGRAPH_CHECK_GT(config_.deadline_us, 0.0);
+  ALIGRAPH_CHECK_EQ(features_.rows(), graph_.num_vertices());
+}
+
+LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
+  const LoadConfig& load = gen.config();
+  const uint64_t n = load.num_requests;
+  const bool closed = load.mode == LoadConfig::Mode::kClosed;
+  const std::vector<uint32_t> fans{config_.fanout1, config_.fanout2};
+
+  results_.assign(n, RequestResult{});
+
+  LocalNeighborSource source(graph_);
+  block::MatrixFeatureSource feature_source(features_);
+
+  // --- Modeled discrete-event state. Touched ONLY by the pipeline's
+  // single-threaded, in-order sample stage, so the simulation is
+  // deterministic regardless of how the real lanes interleave.
+  std::vector<double> lane_free(config_.lanes, 0.0);
+  // Completion times of admitted, unfinished requests.
+  std::priority_queue<double, std::vector<double>, std::greater<double>>
+      inflight;
+  // Closed loop: (next issue time, user), earliest first. Users start
+  // staggered by one think time so the stream does not begin with a
+  // synchronized burst.
+  using UserEvent = std::pair<double, size_t>;
+  std::priority_queue<UserEvent, std::vector<UserEvent>,
+                      std::greater<UserEvent>>
+      users;
+  if (closed) {
+    for (size_t u = 0; u < load.num_users; ++u) {
+      users.push({static_cast<double>(u) * load.think_time_us /
+                      static_cast<double>(load.num_users),
+                  u});
+    }
+  }
+  Summary latencies;  // modeled, completed requests only (sample stage)
+  double first_arrival = -1.0;
+  double last_event = 0.0;
+  size_t peak_inflight = 0;
+  uint64_t shed_count = 0;
+  uint64_t missed_count = 0;
+  // Wall-clock request starts, indexed by id; written on the sample stage,
+  // read in compute. Safe: the request's journey through the stage queues
+  // orders the two accesses.
+  std::vector<Timer> wall_start(n);
+
+  pipeline::PipelineConfig pcfg;
+  pcfg.depth = config_.pipeline_depth;
+  pcfg.batch_span = "serve/request";
+  pcfg.sample_span = "serve/sample";
+  pcfg.gather_span = "serve/gather";
+  pcfg.compute_span = "serve/compute";
+  pipeline::BlockPipeline pipe(pcfg);
+
+  const Status run = pipe.RunStages(
+      n,
+      /*sample=*/
+      [&](size_t id, block::SampledBlock* block, std::any*) -> bool {
+        RequestResult& r = results_[id];
+        wall_start[id] = Timer();
+
+        double arrival;
+        size_t user = 0;
+        if (closed) {
+          const UserEvent ev = users.top();
+          users.pop();
+          arrival = ev.first;
+          user = ev.second;
+        } else {
+          arrival = gen.OpenArrivalUs(id);
+        }
+        r.user = user;
+        r.arrival_us = arrival;
+        if (first_arrival < 0.0) first_arrival = arrival;
+        last_event = std::max(last_event, arrival);
+        Count(offered_);
+
+        // 1. Retire everything that finished before this arrival.
+        while (!inflight.empty() && inflight.top() <= arrival) inflight.pop();
+
+        // 2. Admission control: bounded in-flight, excess is shed. The
+        // sampler is never touched for a shed request.
+        if (inflight.size() >= config_.max_in_flight) {
+          r.outcome = RequestOutcome::kShed;
+          ++shed_count;
+          Count(shed_);
+          if (closed) users.push({arrival + load.think_time_us, user});
+          return false;
+        }
+
+        // 3. Sample the k-hop block (the request must be priced from its
+        // actual shape) with a private, id-derived sampler.
+        NeighborhoodSampler hood(NeighborStrategy::kUniform,
+                                 gen.RequestSeed(id));
+        *block = hood.SampleBlock(source, gen.RootsFor(id),
+                                  NeighborhoodSampler::kAllEdgeTypes, fans);
+        const double service =
+            config_.base_service_us +
+            config_.per_edge_us * static_cast<double>(BlockEdges(*block)) +
+            config_.per_row_us * static_cast<double>(block->num_vertices());
+
+        // 4. Deadline: a request that cannot finish inside its budget is
+        // abandoned before it occupies a lane — serving a reply nobody is
+        // waiting for is pure waste.
+        auto lane = std::min_element(lane_free.begin(), lane_free.end());
+        const double start = std::max(arrival, *lane);
+        const double finish = start + service;
+        if (finish - arrival > config_.deadline_us) {
+          r.outcome = RequestOutcome::kDeadlineMissed;
+          ++missed_count;
+          Count(deadline_missed_);
+          if (closed) {
+            users.push(
+                {arrival + config_.deadline_us + load.think_time_us, user});
+          }
+          return false;
+        }
+
+        // 5. Admit: charge the lane, record the modeled latency.
+        *lane = finish;
+        inflight.push(finish);
+        peak_inflight = std::max(peak_inflight, inflight.size());
+        r.outcome = RequestOutcome::kCompleted;
+        r.start_us = start;
+        r.finish_us = finish;
+        r.latency_us = finish - arrival;
+        r.queue_wait_us = start - arrival;
+        latencies.Add(r.latency_us);
+        Observe(modeled_latency_, r.latency_us);
+        Observe(queue_wait_, r.queue_wait_us);
+        last_event = std::max(last_event, finish);
+        if (closed) users.push({finish + load.think_time_us, user});
+        return true;
+      },
+      /*gather=*/
+      [&](const block::SampledBlock& blk) {
+        // No cross-request row cache: each embedding stays a pure function
+        // of its own request id (the bit-identical replay contract).
+        return block::GatherBlockFeatures(blk, feature_source,
+                                          /*row_cache=*/nullptr);
+      },
+      /*compute=*/
+      [&](size_t id, const block::SampledBlock& blk, const nn::Matrix& x,
+          std::any&) {
+        algo::SageLayer::Cache c_roots, c_h1, c_top;
+        const nn::Matrix h1_roots =
+            layer1_.ForwardBlock(x, blk.hops()[0], &c_roots);
+        const nn::Matrix h1_h1 = layer1_.ForwardBlock(x, blk.hops()[1], &c_h1);
+        nn::Matrix h2 =
+            layer2_.Forward(h1_roots, h1_h1, config_.fanout1, &c_top);
+        nn::L2NormalizeRows(h2);
+        results_[id].fingerprint = FingerprintMatrix(h2);
+        Count(completed_);
+        Observe(wall_latency_, wall_start[id].ElapsedMicros());
+      });
+  // The lanes are owned by `pipe` and cannot have been shut down here.
+  ALIGRAPH_CHECK(run.ok());
+
+  LatencyReport report;
+  report.offered = n;
+  report.shed = shed_count;
+  report.deadline_missed = missed_count;
+  report.completed = n - shed_count - missed_count;
+  report.max_in_flight_observed = peak_inflight;
+  if (latencies.count() > 0) {
+    report.p50_us = latencies.Percentile(50.0);
+    report.p95_us = latencies.Percentile(95.0);
+    report.p99_us = latencies.Percentile(99.0);
+    report.p999_us = latencies.Percentile(99.9);
+    report.max_us = latencies.max();
+  }
+  if (first_arrival < 0.0) first_arrival = 0.0;
+  report.duration_us = last_event - first_arrival;
+  if (report.duration_us > 0.0) {
+    report.goodput_rps =
+        static_cast<double>(report.completed) / (report.duration_us * 1e-6);
+  }
+  if (n > 0) {
+    report.shed_rate =
+        static_cast<double>(shed_count) / static_cast<double>(n);
+    report.deadline_miss_rate =
+        static_cast<double>(missed_count) / static_cast<double>(n);
+  }
+  return report;
+}
+
+uint64_t ServeEngine::ExecuteOffline(const LoadGenerator& gen,
+                                     uint64_t request_id) {
+  const std::vector<uint32_t> fans{config_.fanout1, config_.fanout2};
+  LocalNeighborSource source(graph_);
+  block::MatrixFeatureSource feature_source(features_);
+  NeighborhoodSampler hood(NeighborStrategy::kUniform,
+                           gen.RequestSeed(request_id));
+  block::SampledBlock blk =
+      hood.SampleBlock(source, gen.RootsFor(request_id),
+                       NeighborhoodSampler::kAllEdgeTypes, fans);
+  const nn::Matrix x =
+      block::GatherBlockFeatures(blk, feature_source, /*row_cache=*/nullptr);
+  algo::SageLayer::Cache c_roots, c_h1, c_top;
+  const nn::Matrix h1_roots = layer1_.ForwardBlock(x, blk.hops()[0], &c_roots);
+  const nn::Matrix h1_h1 = layer1_.ForwardBlock(x, blk.hops()[1], &c_h1);
+  nn::Matrix h2 = layer2_.Forward(h1_roots, h1_h1, config_.fanout1, &c_top);
+  nn::L2NormalizeRows(h2);
+  return FingerprintMatrix(h2);
+}
+
+}  // namespace serve
+}  // namespace aligraph

@@ -1,0 +1,200 @@
+/// \file serve_engine.h
+/// \brief Online serving front-end over the block execution path: a stream
+/// of k-hop embedding requests with admission control, per-request modeled
+/// deadlines, and a tail-latency report suitable for CI gating.
+///
+/// AliGraph's operators and samplers were built for offline training
+/// batches; this subsystem turns the same machinery — SampleBlock ->
+/// GatherBlockFeatures -> SageLayer::ForwardBlock — into a request server.
+/// Each request carries a batch of Zipf-hot seed vertices (LoadGenerator),
+/// runs through pipeline::BlockPipeline's three lanes (sample / gather /
+/// compute overlap across in-flight requests exactly as training batches
+/// overlap), and is traced end to end: every offered request gets a
+/// "serve/request" root span, so the PR 5 Chrome-trace export is the tail-
+/// latency debugging tool.
+///
+/// TWO CLOCKS. The engine keeps a modeled clock and a measured one:
+///
+///   - The MODELED timeline is a discrete-event simulation of a small
+///     serving fleet (config.lanes service lanes, one queue) that runs
+///     entirely on the pipeline's single-threaded, in-order sample stage.
+///     Admission, queueing, deadlines and the reported latency percentiles
+///     all live on this clock, so they are a pure function of (graph,
+///     config, load seed) — byte-identical across machines, thread
+///     schedules and sanitizers. These are the numbers bench_serve gates
+///     against bench/baseline.json. Service cost is charged per request
+///     from an explicit cost model (base + per-edge + per-row), mirroring
+///     how the cluster's CommModel charges modeled communication.
+///   - The MEASURED wall clock times the actual sample/gather/forward work
+///     into obs histograms ("serve.wall_latency_us") and the trace. It is
+///     reported for eyeballing, never gated.
+///
+/// CONTROL LOOP, per offered request (modeled clock, sample stage):
+///   1. completions with finish <= arrival retire; in-flight = live count.
+///   2. admission: in-flight >= max_in_flight -> SHED ("serve.shed",
+///      Result::kResourceExhausted semantics — local backpressure, the
+///      client may retry). Shed requests never touch the sampler.
+///   3. the k-hop block is sampled (the engine must know the request's
+///      shape to price it); service = cost model over edges + rows.
+///   4. deadline: queue wait + service past deadline_us -> ABANDONED
+///      ("serve.deadline_missed") without occupying a lane — a reply the
+///      client gave up on is pure waste, so it is never served.
+///   5. else the earliest-free lane is charged and the request completes
+///      at start + service; its latency (finish - arrival) feeds the
+///      report. Gather + forward then run on the real lanes for the
+///      measured clock and the embedding bytes.
+///
+/// BIT-IDENTITY. Every request's draws come from a private sampler seeded
+/// by LoadGenerator::RequestSeed(id), and features are gathered with no
+/// cross-request row cache, so an accepted request's embedding is a pure
+/// function of (graph, features, weights, id) — ExecuteOffline(id) replays
+/// it sequentially and must produce the same fingerprint, no matter which
+/// neighbors were shed. Tests hold the serving path to that contract.
+
+#ifndef ALIGRAPH_SERVE_SERVE_ENGINE_H_
+#define ALIGRAPH_SERVE_SERVE_ENGINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "algo/gnn.h"
+#include "common/random.h"
+#include "graph/graph.h"
+#include "nn/matrix.h"
+#include "serve/load_generator.h"
+
+namespace aligraph {
+
+namespace obs {
+class Counter;
+class Histogram;
+}  // namespace obs
+
+namespace serve {
+
+/// \brief Serving knobs: model shape, admission bound, deadline, and the
+/// modeled service-cost model.
+struct ServeConfig {
+  /// Per-hop fan-outs of the k-hop query (exactly two hops: the served
+  /// model is the repo's two-layer GraphSAGE stack).
+  uint32_t fanout1 = 10;
+  uint32_t fanout2 = 5;
+  size_t dim = 32;  ///< embedding dimension of the served model
+
+  /// Admission bound: offered requests beyond this many in flight are shed.
+  size_t max_in_flight = 8;
+  /// Modeled service lanes (the simulated fleet's parallelism).
+  size_t lanes = 2;
+  /// Per-request modeled deadline over queue wait + service, microseconds.
+  /// Plays the role RetryPolicy::deadline_us plays for cluster reads: a
+  /// modeled budget after which the request is abandoned, never slept on.
+  double deadline_us = 50000.0;
+
+  /// Modeled service cost: base_service_us + per_edge_us * sampled edges
+  /// + per_row_us * unique feature rows.
+  double base_service_us = 50.0;
+  double per_edge_us = 0.4;
+  double per_row_us = 0.6;
+
+  /// Stage-queue depth of the underlying BlockPipeline.
+  size_t pipeline_depth = 2;
+  /// Seed for the served model's weight initialization.
+  uint64_t seed = 29;
+};
+
+/// \brief What happened to one offered request.
+enum class RequestOutcome : uint8_t {
+  kCompleted = 0,  ///< served within deadline; fingerprint is valid
+  kShed,           ///< rejected at admission (in-flight bound)
+  kDeadlineMissed, ///< admitted but abandoned: could not finish in time
+};
+
+/// \brief Per-request record, index == request id.
+struct RequestResult {
+  RequestOutcome outcome = RequestOutcome::kShed;
+  size_t user = 0;            ///< closed loop: issuing client
+  double arrival_us = 0;      ///< modeled
+  double start_us = 0;        ///< modeled service start (completed only)
+  double finish_us = 0;       ///< modeled completion (completed only)
+  double latency_us = 0;      ///< modeled finish - arrival (completed only)
+  double queue_wait_us = 0;   ///< modeled start - arrival (completed only)
+  uint64_t fingerprint = 0;   ///< hash of the embedding bytes (completed only)
+};
+
+/// \brief The serving run's headline numbers. All latency fields are on the
+/// MODELED clock — deterministic, hence gateable.
+struct LatencyReport {
+  uint64_t offered = 0;
+  uint64_t completed = 0;
+  uint64_t shed = 0;
+  uint64_t deadline_missed = 0;
+
+  double p50_us = 0;
+  double p95_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+
+  /// Completed requests per modeled second of stream duration.
+  double goodput_rps = 0;
+  double shed_rate = 0;           ///< shed / offered
+  double deadline_miss_rate = 0;  ///< deadline_missed / offered
+  /// Modeled stream duration: last completion (or arrival) minus first
+  /// arrival, microseconds.
+  double duration_us = 0;
+  /// High-water mark of concurrently admitted requests — the admission
+  /// test asserts this never exceeds max_in_flight.
+  size_t max_in_flight_observed = 0;
+
+  std::string ToString() const;
+};
+
+/// \brief Serves embedding requests over one graph + feature matrix with a
+/// freshly initialized (deterministic) two-layer GraphSAGE stack. The graph
+/// and features must outlive the engine.
+class ServeEngine {
+ public:
+  ServeEngine(const AttributedGraph& graph, const nn::Matrix& features,
+              const ServeConfig& config);
+
+  /// Runs the generator's full request stream through the serving pipeline.
+  /// Blocks until every offered request is accounted for (completed, shed,
+  /// or deadline-missed). Callable repeatedly; each call starts a fresh
+  /// modeled timeline and overwrites results().
+  LatencyReport Run(const LoadGenerator& gen);
+
+  /// Per-request outcomes of the last Run, indexed by request id.
+  const std::vector<RequestResult>& results() const { return results_; }
+
+  /// Replays request `id` through the sequential offline path (same roots,
+  /// same per-request seed, no pipeline, no admission) and returns the
+  /// embedding fingerprint. For any request Run() completed, this must
+  /// equal results()[id].fingerprint bit for bit.
+  uint64_t ExecuteOffline(const LoadGenerator& gen, uint64_t request_id);
+
+  const ServeConfig& config() const { return config_; }
+
+ private:
+  const AttributedGraph& graph_;
+  const nn::Matrix& features_;
+  ServeConfig config_;
+  Rng rng_;
+  algo::SageLayer layer1_;
+  algo::SageLayer layer2_;
+  std::vector<RequestResult> results_;
+
+  // Handles from the default registry at construction (null when detached).
+  obs::Counter* offered_ = nullptr;
+  obs::Counter* completed_ = nullptr;
+  obs::Counter* shed_ = nullptr;
+  obs::Counter* deadline_missed_ = nullptr;
+  obs::Histogram* modeled_latency_ = nullptr;
+  obs::Histogram* queue_wait_ = nullptr;
+  obs::Histogram* wall_latency_ = nullptr;
+};
+
+}  // namespace serve
+}  // namespace aligraph
+
+#endif  // ALIGRAPH_SERVE_SERVE_ENGINE_H_

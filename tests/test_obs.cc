@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/histogram.h"
 #include "gen/powerlaw.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
@@ -80,10 +81,47 @@ TEST(MetricsTest, HistogramBucketsAndPercentiles) {
   EXPECT_EQ(snap.counts[0], 90u);
   EXPECT_EQ(snap.counts[1], 9u);
   EXPECT_EQ(snap.counts[3], 1u);
-  EXPECT_DOUBLE_EQ(snap.Percentile(50.0), 10.0);
-  EXPECT_DOUBLE_EQ(snap.Percentile(95.0), 100.0);
-  // Overflow bucket reports the last finite bound.
+  // Interpolated within the containing bucket: rank 50 of 90 records in
+  // [0, 10] sits at 10 * 50/90; rank 95 is 5 of the 9 records in (10, 100].
+  EXPECT_DOUBLE_EQ(snap.Percentile(50.0), 10.0 * 50.0 / 90.0);
+  EXPECT_DOUBLE_EQ(snap.Percentile(95.0), 10.0 + 90.0 * 5.0 / 9.0);
+  // Overflow bucket has no upper edge: reports the last finite bound.
   EXPECT_DOUBLE_EQ(snap.Percentile(99.9), 1000.0);
+}
+
+// The tail percentiles the serving layer gates on: 1000 uniformly spread
+// values in one bucket must resolve p99.9 by interpolation instead of
+// snapping to the bucket bound.
+TEST(MetricsTest, HistogramP999OnKnownDistribution) {
+  obs::MetricsRegistry registry;
+  const double bounds[] = {1000.0, 2000.0};
+  obs::Histogram* h = registry.GetHistogram("h999", bounds);
+  // 1..999: every value strictly inside the first bucket (a value equal to
+  // a bound lands in the NEXT bucket — upper_bound semantics).
+  for (int i = 1; i <= 999; ++i) h->Record(static_cast<double>(i));
+  const obs::HistogramSnapshot snap = h->Snapshot();
+  // Interpolation assumes values spread uniformly over [0, 1000]; for this
+  // distribution that is accurate to about one value. Without
+  // interpolation every one of these would snap to 1000.
+  EXPECT_NEAR(snap.Percentile(50.0), 500.0, 1.5);
+  EXPECT_NEAR(snap.Percentile(99.0), 990.0, 1.5);
+  EXPECT_NEAR(snap.Percentile(99.9), 999.0, 1.5);
+  // p99.9 resolves BELOW the bucket bound — the whole point.
+  EXPECT_LT(snap.Percentile(99.9), 1000.0);
+  EXPECT_GT(snap.Percentile(99.9), snap.Percentile(99.0));
+  EXPECT_DOUBLE_EQ(snap.Percentile(100.0), 1000.0);
+  // Percentiles are monotone in p.
+  double prev = 0.0;
+  for (double p : {10.0, 50.0, 90.0, 99.0, 99.9, 99.99, 100.0}) {
+    const double v = snap.Percentile(p);
+    EXPECT_GE(v, prev) << "p" << p;
+    prev = v;
+  }
+  // The Summary sibling (exact, order-statistic based) agrees on the same
+  // distribution to within two values.
+  Summary s;
+  for (int i = 1; i <= 999; ++i) s.Add(static_cast<double>(i));
+  EXPECT_NEAR(s.Percentile(99.9), snap.Percentile(99.9), 2.0);
 }
 
 TEST(MetricsTest, HistogramConcurrentRecordsAreExact) {

@@ -3,12 +3,15 @@
 ///
 /// Usage:
 ///   bench_compare [--tolerance=0.10] [--metric-tolerance=NAME=TOL]...
-///                 [--higher-better=NAME]...
+///                 [--metric-slack=NAME=ABS] [--higher-better=NAME]...
 ///                 <baseline.json> <candidate.json> [candidate2.json]...
 ///
 /// Walks the baseline's "metrics" object and compares each against the
 /// candidates with the given relative tolerance; --metric-tolerance
-/// overrides the default for one metric and may repeat. Metrics default to
+/// overrides the default for one metric and may repeat. --metric-slack
+/// widens one metric's bound by an ABSOLUTE amount on top of the relative
+/// tolerance (the right units for latency-percentile keys, where the tail
+/// sits on a single observation) and may repeat. Metrics default to
 /// lower-is-better; --higher-better flips one metric's direction (speedups,
 /// hit rates) and may repeat. Several candidate reports may each cover part
 /// of the baseline's contract (e.g. the table4 and table5 smoke runs): the
@@ -31,7 +34,7 @@ namespace {
 int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--tolerance=R] [--metric-tolerance=NAME=R]... "
-               "[--higher-better=NAME]... "
+               "[--metric-slack=NAME=ABS]... [--higher-better=NAME]... "
                "<baseline.json> <candidate.json>...\n",
                argv0);
   return 2;
@@ -72,6 +75,17 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.per_metric_tolerance[std::string(spec, eq)] = tol;
+    } else if (std::strncmp(arg, "--metric-slack=", 15) == 0) {
+      const char* spec = arg + 15;
+      const char* eq = std::strrchr(spec, '=');
+      if (eq == nullptr || eq == spec) return Usage(argv[0]);
+      char* end = nullptr;
+      const double slack = std::strtod(eq + 1, &end);
+      if (end == eq + 1 || *end != '\0' || slack < 0) {
+        std::fprintf(stderr, "bad --metric-slack value: %s\n", spec);
+        return 2;
+      }
+      options.per_metric_slack[std::string(spec, eq)] = slack;
     } else if (std::strncmp(arg, "--higher-better=", 16) == 0) {
       if (arg[16] == '\0') return Usage(argv[0]);
       options.higher_is_better.insert(arg + 16);
