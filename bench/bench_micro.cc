@@ -16,7 +16,9 @@
 #include "common/lru_cache.h"
 #include "common/random.h"
 #include "gen/powerlaw.h"
+#include "gen/zipf.h"
 #include "graph/khop.h"
+#include "layout/layout.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -197,6 +199,120 @@ void BM_BlockAggregate(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BlockAggregate)->Arg(0)->Arg(1);
+
+// Shared fixture for the layout benchmarks: the bench graph under a
+// degree-descending layout, plus one Zipf-hot visit schedule (hot rank =
+// degree rank, so rank k is new id k) expressed in both id spaces. All
+// names carry "Reorder" so CI can pull every layout-sensitive micro with
+// one --benchmark_filter=Reorder.
+struct ReorderFixture {
+  AttributedGraph reordered;
+  layout::VertexLayout layout;
+  std::vector<VertexId> visits_old;  ///< Zipf-hot trace, original ids
+  std::vector<VertexId> visits_new;  ///< the same trace, reordered ids
+};
+
+const ReorderFixture& BenchReorder() {
+  static const ReorderFixture* f = [] {
+    auto* fx = new ReorderFixture;
+    const AttributedGraph& g = BenchGraph();
+    fx->layout =
+        layout::ComputeLayout(g, layout::LayoutPolicy::kDegreeDescending);
+    fx->reordered = std::move(layout::ApplyLayout(g, fx->layout)).value();
+    gen::ZipfConfig zcfg;
+    zcfg.num_ranks = g.num_vertices();
+    zcfg.exponent = 1.0;
+    zcfg.seed = 17;
+    gen::ZipfSampler zipf(zcfg);
+    fx->visits_old.resize(1 << 16);
+    for (VertexId& v : fx->visits_old) {
+      v = fx->layout.ToOld(static_cast<VertexId>(zipf.Next()));
+    }
+    fx->visits_new = layout::MapToNew(fx->layout, fx->visits_old);
+    return fx;
+  }();
+  return *f;
+}
+
+// Whole-adjacency scans over the Zipf-hot schedule: Arg 0 walks the
+// original CSR, Arg 1 the degree-reordered one. The same records are read
+// either way; the reordered walk keeps the hot adjacency on far fewer
+// distinct cache lines.
+void BM_ReorderCsrScanZipfHot(benchmark::State& state) {
+  const ReorderFixture& f = BenchReorder();
+  const bool reordered = state.range(0) == 1;
+  const AttributedGraph& g = reordered ? f.reordered : BenchGraph();
+  const std::vector<VertexId>& visits =
+      reordered ? f.visits_new : f.visits_old;
+  size_t i = 0;
+  for (auto _ : state) {
+    const VertexId v = visits[i++ & (visits.size() - 1)];
+    uint64_t acc = 0;
+    for (const Neighbor& nb : g.OutNeighbors(v)) acc += nb.dst;
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_ReorderCsrScanZipfHot)->Arg(0)->Arg(1);
+
+// Batched, software-prefetched NeighborsBatch vs one Neighbors call per
+// vertex, over the same Zipf-hot schedule on the reordered CSR.
+// Arg 0 = per-vertex, 1 = batched.
+void BM_ReorderPrefetchedBatchRead(benchmark::State& state) {
+  const ReorderFixture& f = BenchReorder();
+  LocalNeighborSource source(f.reordered);
+  const bool batched = state.range(0) == 1;
+  constexpr size_t kBatch = 512;
+  BatchResult batch;
+  size_t i = 0;
+  for (auto _ : state) {
+    // i advances in kBatch strides over a power-of-two schedule, so the
+    // masked start is always kBatch-aligned and the window stays in range.
+    const std::span<const VertexId> window(
+        f.visits_new.data() + (i & (f.visits_new.size() - 1)), kBatch);
+    i += kBatch;
+    // Both arms walk the full adjacency payload — the point of the batch
+    // path is hiding THAT memory traffic behind prefetch + coalescing.
+    uint64_t acc = 0;
+    if (batched) {
+      source.NeighborsBatch(window, kAllEdgeTypes, &batch);
+      for (const std::span<const Neighbor>& span : batch.spans) {
+        for (const Neighbor& nb : span) acc += nb.dst;
+      }
+    } else {
+      for (const VertexId v : window) {
+        for (const Neighbor& nb : source.Neighbors(v)) acc += nb.dst;
+      }
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+}
+BENCHMARK(BM_ReorderPrefetchedBatchRead)->Arg(0)->Arg(1);
+
+// Scalar Sample loop vs the two-pass SampleBatch on a table too big for
+// cache; the batch path prefetches the accept/alias rows kAhead draws out.
+// Arg 0 = scalar loop, 1 = batched.
+void BM_ReorderAliasSampleBatch(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<double> weights(1 << 20);
+  for (auto& w : weights) w = rng.NextDouble() + 0.01;
+  AliasTable table(weights);
+  const bool batched = state.range(0) == 1;
+  std::vector<size_t> out(512);
+  AliasTable::BatchScratch scratch;
+  for (auto _ : state) {
+    if (batched) {
+      table.SampleBatch(rng, out, &scratch);
+    } else {
+      for (size_t& o : out) o = table.Sample(rng);
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(out.size()));
+}
+BENCHMARK(BM_ReorderAliasSampleBatch)->Arg(0)->Arg(1);
 
 void BM_MatMul(benchmark::State& state) {
   Rng rng(7);

@@ -1,18 +1,57 @@
 #include "common/alias_table.h"
 
+#include <cmath>
+#include <string>
 #include <vector>
+
+#include "common/logging.h"
+#include "common/prefetch.h"
 
 namespace aligraph {
 
+namespace {
+
+/// NaN, infinite or negative entries would flow straight into prob_ as
+/// garbage acceptance thresholds (NaN compares false, so the alias branch
+/// fires forever; an infinity turns the normalization into NaN; negatives
+/// push other entries' scaled mass past 1).
+Status ValidateWeights(const std::vector<double>& weights) {
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (std::isnan(weights[i])) {
+      return Status::InvalidArgument("alias weight " + std::to_string(i) +
+                                     " is NaN");
+    }
+    if (!std::isfinite(weights[i])) {
+      return Status::InvalidArgument("alias weight " + std::to_string(i) +
+                                     " is not finite");
+    }
+    if (weights[i] < 0) {
+      return Status::InvalidArgument("alias weight " + std::to_string(i) +
+                                     " is negative");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
 void AliasTable::Build(const std::vector<double>& weights) {
+  const Status st = TryBuild(weights);
+  ALIGRAPH_CHECK(st.ok()) << st.ToString();
+}
+
+Status AliasTable::TryBuild(const std::vector<double>& weights) {
   prob_.clear();
   alias_.clear();
+  const Status valid = ValidateWeights(weights);
+  if (!valid.ok()) return valid;
+
   const size_t n = weights.size();
-  if (n == 0) return;
+  if (n == 0) return Status::OK();
 
   double total = 0;
   for (double w : weights) total += w;
-  if (total <= 0) return;
+  if (total <= 0) return Status::OK();
 
   prob_.resize(n);
   alias_.assign(n, 0);
@@ -41,6 +80,39 @@ void AliasTable::Build(const std::vector<double>& weights) {
   // Numerical leftovers all get probability 1.
   for (uint32_t i : small) prob_[i] = 1.0;
   for (uint32_t i : large) prob_[i] = 1.0;
+  return Status::OK();
+}
+
+void AliasTable::SampleBatch(Rng& rng, std::span<size_t> out,
+                             BatchScratch* scratch) const {
+  if (out.empty()) return;
+  ALIGRAPH_CHECK(!empty());
+
+  BatchScratch local;
+  BatchScratch& s = scratch != nullptr ? *scratch : local;
+  const size_t count = out.size();
+  s.idx.resize(count);
+  s.u.resize(count);
+
+  // Pass 1: the RNG draws, in exactly the order the scalar loop makes
+  // them. Nothing else happens here, so the stream consumed is a pure
+  // function of `count` — the bit-identity contract.
+  for (size_t j = 0; j < count; ++j) {
+    s.idx[j] = static_cast<uint32_t>(rng.Uniform(prob_.size()));
+    s.u[j] = rng.NextDouble();
+  }
+
+  // Pass 2: resolve the accept/alias branch. The row needed `kAhead`
+  // iterations from now is prefetched so the (random-index) loads overlap.
+  constexpr size_t kAhead = 8;
+  for (size_t j = 0; j < count; ++j) {
+    if (j + kAhead < count) {
+      ALIGRAPH_PREFETCH(&prob_[s.idx[j + kAhead]]);
+      ALIGRAPH_PREFETCH(&alias_[s.idx[j + kAhead]]);
+    }
+    const uint32_t i = s.idx[j];
+    out[j] = s.u[j] < prob_[i] ? i : alias_[i];
+  }
 }
 
 }  // namespace aligraph

@@ -1,16 +1,19 @@
 /// \file alias_table.h
 /// \brief Walker alias method: O(1) sampling from a fixed discrete
 /// distribution after O(n) build. Backs the NEGATIVE sampler (degree^0.75
-/// noise distribution) and weighted NEIGHBORHOOD sampling.
+/// noise distribution), weighted NEIGHBORHOOD sampling and the Zipf root
+/// generator of the serving layer.
 
 #ifndef ALIGRAPH_COMMON_ALIAS_TABLE_H_
 #define ALIGRAPH_COMMON_ALIAS_TABLE_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 
 namespace aligraph {
 
@@ -21,16 +24,42 @@ class AliasTable {
 
   /// Builds from non-negative weights; weights need not be normalized.
   /// An all-zero or empty weight vector yields an empty table.
+  /// CHECK-fails on NaN or negative weights (see TryBuild for the
+  /// status-returning variant).
   explicit AliasTable(const std::vector<double>& weights) { Build(weights); }
 
-  /// Rebuilds the table in place.
+  /// Rebuilds the table in place. CHECK-fails on NaN or negative weights:
+  /// a corrupt prob_ table silently biases every later draw, which is far
+  /// harder to debug than an early abort.
   void Build(const std::vector<double>& weights);
+
+  /// Like Build, but rejects NaN / negative weights with InvalidArgument
+  /// instead of aborting. On rejection the table is left empty.
+  Status TryBuild(const std::vector<double>& weights);
 
   /// Draws one index; table must be non-empty.
   size_t Sample(Rng& rng) const {
     const size_t i = rng.Uniform(prob_.size());
     return rng.NextDouble() < prob_[i] ? i : alias_[i];
   }
+
+  /// Reusable scratch buffers for SampleBatch, so steady-state batched
+  /// draws allocate nothing.
+  struct BatchScratch {
+    std::vector<uint32_t> idx;
+    std::vector<double> u;
+  };
+
+  /// Draws out.size() indices in two passes: pass 1 consumes the RNG
+  /// stream exactly as a scalar `for { Sample(rng) }` loop would (one
+  /// Uniform then one NextDouble per draw, in order), pass 2 resolves the
+  /// accept/alias branches with the prob_/alias_ rows prefetched ahead.
+  /// Bit-identical to the scalar loop on the same stream — including the
+  /// single-entry and all-equal-weight tables, where every branch accepts
+  /// but the stream must still advance two draws per sample. Table must be
+  /// non-empty unless out is empty.
+  void SampleBatch(Rng& rng, std::span<size_t> out,
+                   BatchScratch* scratch = nullptr) const;
 
   bool empty() const { return prob_.empty(); }
   size_t size() const { return prob_.size(); }

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/alias_table.h"
@@ -47,6 +48,15 @@ class ZipfSampler {
   /// state, so callers with per-request RNGs get draws that are a pure
   /// function of their own stream.
   size_t Sample(Rng& rng) const { return table_.Sample(rng); }
+
+  /// Batched variant of Sample: fills `out` with |out| ranks via the alias
+  /// table's two-pass batch path. Consumes `rng` exactly as |out| scalar
+  /// Sample calls would, so the draws are bit-identical to the per-draw
+  /// loop — callers can batch without perturbing any seeded stream.
+  void SampleBatch(Rng& rng, std::span<size_t> out,
+                   AliasTable::BatchScratch* scratch = nullptr) const {
+    table_.SampleBatch(rng, out, scratch);
+  }
 
   /// Normalized probability of one rank.
   double Probability(size_t rank) const { return pmf_[rank]; }

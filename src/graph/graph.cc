@@ -22,6 +22,69 @@ Csr::Csr(VertexId num_vertices,
   }
 }
 
+Csr Csr::Permuted(std::span<const VertexId> new_of_old,
+                  std::span<const VertexId> old_of_new) const {
+  const VertexId n = num_vertices();
+  ALIGRAPH_CHECK_EQ(new_of_old.size(), static_cast<size_t>(n));
+  ALIGRAPH_CHECK_EQ(old_of_new.size(), static_cast<size_t>(n));
+  Csr out;
+  out.offsets_.assign(static_cast<size_t>(n) + 1, 0);
+  for (VertexId nv = 0; nv < n; ++nv) {
+    out.offsets_[nv + 1] =
+        out.offsets_[nv] + static_cast<uint64_t>(Degree(old_of_new[nv]));
+  }
+  out.neighbors_.resize(neighbors_.size());
+  for (VertexId nv = 0; nv < n; ++nv) {
+    const std::span<const Neighbor> src = Neighbors(old_of_new[nv]);
+    Neighbor* dst = out.neighbors_.data() + out.offsets_[nv];
+    for (size_t i = 0; i < src.size(); ++i) {
+      dst[i] = src[i];
+      dst[i].dst = new_of_old[src[i].dst];
+    }
+  }
+  return out;
+}
+
+AttributedGraph AttributedGraph::Reordered(
+    std::span<const VertexId> new_of_old,
+    std::span<const VertexId> old_of_new) const {
+  const VertexId n = num_vertices();
+  ALIGRAPH_CHECK_EQ(new_of_old.size(), static_cast<size_t>(n));
+  ALIGRAPH_CHECK_EQ(old_of_new.size(), static_cast<size_t>(n));
+
+  AttributedGraph g;
+  g.schema_ = schema_;
+  g.undirected_ = undirected_;
+  g.num_edges_ = num_edges_;
+  g.vertex_store_ = vertex_store_;
+  g.edge_store_ = edge_store_;
+
+  g.vertex_type_.resize(n);
+  g.vertex_attr_.resize(n);
+  for (VertexId nv = 0; nv < n; ++nv) {
+    const VertexId ov = old_of_new[nv];
+    g.vertex_type_[nv] = vertex_type_[ov];
+    g.vertex_attr_[nv] = vertex_attr_[ov];
+  }
+  // Per-type listings keep the "ascending id" contract in the NEW space.
+  g.vertices_by_type_.resize(schema_.num_vertex_types());
+  for (VertexId nv = 0; nv < n; ++nv) {
+    g.vertices_by_type_[g.vertex_type_[nv]].push_back(nv);
+  }
+
+  g.out_all_ = out_all_.Permuted(new_of_old, old_of_new);
+  g.in_all_ = in_all_.Permuted(new_of_old, old_of_new);
+  g.out_by_type_.reserve(out_by_type_.size());
+  g.in_by_type_.reserve(in_by_type_.size());
+  for (const Csr& c : out_by_type_) {
+    g.out_by_type_.push_back(c.Permuted(new_of_old, old_of_new));
+  }
+  for (const Csr& c : in_by_type_) {
+    g.in_by_type_.push_back(c.Permuted(new_of_old, old_of_new));
+  }
+  return g;
+}
+
 std::span<const VertexId> AttributedGraph::VerticesOfType(VertexType t) const {
   ALIGRAPH_CHECK_LT(t, vertices_by_type_.size());
   return vertices_by_type_[t];

@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "common/prefetch.h"
 #include "common/status.h"
 #include "graph/attributes.h"
 #include "graph/schema.h"
@@ -73,6 +74,35 @@ class Csr {
   }
 
   size_t Degree(VertexId v) const { return offsets_[v + 1] - offsets_[v]; }
+
+  /// Position of v's adjacency in the flat neighbor array. Exposed so the
+  /// layout subsystem can model cache behaviour of a walk from the CSR's
+  /// actual storage geometry.
+  uint64_t OffsetOf(VertexId v) const { return offsets_[v]; }
+
+  /// Software-prefetches the first cache lines of v's adjacency (capped, so
+  /// a hub vertex does not flood the prefetch queue). Used by batched
+  /// readers that know the frontier a few slots ahead of the scan.
+  void PrefetchNeighbors(VertexId v) const {
+    const uint64_t begin = offsets_[v];
+    const uint64_t end = offsets_[v + 1];
+    constexpr uint64_t kMaxLines = 4;
+    const char* p = reinterpret_cast<const char*>(neighbors_.data() + begin);
+    const char* stop = reinterpret_cast<const char*>(neighbors_.data() + end);
+    for (uint64_t line = 0; line < kMaxLines && p < stop;
+         ++line, p += kCacheLineBytes) {
+      ALIGRAPH_PREFETCH(p);
+    }
+  }
+
+  /// Copy of this CSR re-indexed under a vertex permutation: the new
+  /// vertex new_of_old[v] gets v's adjacency with every destination mapped
+  /// through new_of_old, per-vertex neighbor ORDER preserved. Order
+  /// preservation is what makes reorderings observationally invisible to
+  /// samplers: the i-th neighbor of a vertex stays the i-th neighbor.
+  Csr Permuted(std::span<const VertexId> new_of_old,
+               std::span<const VertexId> old_of_new) const;
+
   size_t num_edges() const { return neighbors_.size(); }
   VertexId num_vertices() const {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
@@ -123,6 +153,30 @@ class AttributedGraph {
   }
   size_t OutDegree(VertexId v) const { return out_all_.Degree(v); }
   size_t InDegree(VertexId v) const { return in_all_.Degree(v); }
+
+  /// Prefetch hint for an upcoming OutNeighbors(v) read (merged adjacency).
+  void PrefetchOutNeighbors(VertexId v) const {
+    out_all_.PrefetchNeighbors(v);
+  }
+  /// Prefetch hint for an upcoming typed OutNeighbors(v, t) read.
+  void PrefetchOutNeighbors(VertexId v, EdgeType t) const {
+    out_by_type_[t].PrefetchNeighbors(v);
+  }
+
+  /// Storage position of v's merged out-adjacency (units of Neighbor
+  /// entries); feeds the layout subsystem's modeled cache cost.
+  uint64_t OutAdjacencyOffset(VertexId v) const { return out_all_.OffsetOf(v); }
+
+  /// Copy of this graph with vertices relabeled under a permutation:
+  /// vertex v becomes new_of_old[v]. Adjacency (merged and per-type, both
+  /// directions), vertex types, and attribute references are carried over
+  /// with per-vertex neighbor order preserved; attribute payload stores are
+  /// shared byte-for-byte (AttrIds are not renumbered). The permutation
+  /// must be a bijection over [0, n); old_of_new must be its inverse.
+  /// Used by layout::ApplyLayout — see src/layout/layout.h for the policy
+  /// that picks the permutation.
+  AttributedGraph Reordered(std::span<const VertexId> new_of_old,
+                            std::span<const VertexId> old_of_new) const;
 
   /// Per-edge-type adjacency.
   std::span<const Neighbor> OutNeighbors(VertexId v, EdgeType t) const {

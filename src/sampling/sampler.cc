@@ -124,6 +124,32 @@ VertexId NeighborhoodSampler::SampleOne(std::span<const Neighbor> nbs,
   return fallback;
 }
 
+void NeighborhoodSampler::DrawFan(std::span<const Neighbor> nbs,
+                                  VertexId fallback, uint32_t fan, Rng& rng,
+                                  VertexId* out) {
+  if (strategy_ != NeighborStrategy::kUniform || nbs.empty()) {
+    for (uint32_t j = 0; j < fan; ++j) {
+      out[j] = SampleOne(nbs, fallback, j, rng);
+    }
+    return;
+  }
+  // Uniform fast path: batch the index draws, then resolve the span reads
+  // in a second pass (dst fields of a hub's adjacency are prefetched by the
+  // batched frontier read). Stack chunking keeps the scratch register-/
+  // L1-sized for any fan-out.
+  constexpr uint32_t kChunk = 64;
+  uint32_t idx[kChunk];
+  for (uint32_t base = 0; base < fan; base += kChunk) {
+    const uint32_t take = std::min(kChunk, fan - base);
+    for (uint32_t j = 0; j < take; ++j) {
+      idx[j] = static_cast<uint32_t>(rng.Uniform(nbs.size()));
+    }
+    for (uint32_t j = 0; j < take; ++j) {
+      out[base + j] = nbs[idx[j]].dst;
+    }
+  }
+}
+
 void NeighborhoodSampler::RefreshObsHandles() {
   obs::MetricsRegistry* reg = obs::Default();
   if (reg == obs_registry_) return;
@@ -238,9 +264,7 @@ NeighborhoodSample NeighborhoodSampler::DrawHops(
     std::vector<VertexId> next(frontier.size() * fan);
     if (pool == nullptr) {
       for (size_t i = 0; i < frontier.size(); ++i) {
-        for (uint32_t j = 0; j < fan; ++j) {
-          next[i * fan + j] = SampleOne(adj.spans[i], frontier[i], j, rng_);
-        }
+        DrawFan(adj.spans[i], frontier[i], fan, rng_, &next[i * fan]);
       }
     } else {
       // Parallel draw over the fetched spans: each root gets its own RNG
@@ -249,9 +273,7 @@ NeighborhoodSample NeighborhoodSampler::DrawHops(
       const uint64_t base = rng_.Next();
       pool->ParallelFor(frontier.size(), [&](size_t i) {
         Rng local(Mix64(base ^ (static_cast<uint64_t>(i) + 1)));
-        for (uint32_t j = 0; j < fan; ++j) {
-          next[i * fan + j] = SampleOne(adj.spans[i], frontier[i], j, local);
-        }
+        DrawFan(adj.spans[i], frontier[i], fan, local, &next[i * fan]);
       });
     }
     sample.hops.push_back(std::move(next));
@@ -281,12 +303,24 @@ std::vector<VertexId> NegativeSampler::Sample(size_t count,
   std::vector<VertexId> out;
   if (candidates_.empty() || table_.empty()) return out;
   out.reserve(count);
-  size_t guard = 0;
-  while (out.size() < count && guard < count * 16 + 64) {
-    ++guard;
-    const VertexId v = candidates_[table_.Sample(rng_)];
-    if (v == positive) continue;
-    out.push_back(v);
+  // Round-based batched draws: each round asks the alias table for exactly
+  // the number of negatives still missing (collisions with `positive` are
+  // rare, so the first round almost always suffices), bounded by the same
+  // total-tries guard as the old per-draw loop. SampleBatch consumes the
+  // RNG stream draw-for-draw like scalar Sample, so the output is
+  // bit-identical to the historical sequential path.
+  const size_t max_tries = count * 16 + 64;
+  size_t tries = 0;
+  while (out.size() < count && tries < max_tries) {
+    const size_t want = std::min(count - out.size(), max_tries - tries);
+    draws_.resize(want);
+    table_.SampleBatch(rng_, draws_, &scratch_);
+    tries += want;
+    for (const size_t d : draws_) {
+      const VertexId v = candidates_[d];
+      if (v == positive) continue;
+      out.push_back(v);
+    }
   }
   return out;
 }

@@ -10,7 +10,9 @@
 #ifndef ALIGRAPH_SAMPLING_SAMPLER_H_
 #define ALIGRAPH_SAMPLING_SAMPLER_H_
 
+#include <algorithm>
 #include <memory>
+#include <numeric>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -88,19 +90,43 @@ class LocalNeighborSource : public NeighborSource {
     return graph_.OutNeighbors(v, type);
   }
   // Native batch: straight-line loop over the graph, no virtual dispatch
-  // per vertex (local reads have no RPC to amortize).
+  // per vertex (local reads have no RPC to amortize). The walk is
+  // COALESCED — slots are visited in ascending vertex id, so the CSR is
+  // touched as a monotone sweep (duplicate and id-adjacent slots land on
+  // the same or consecutive cache lines, and under a hot-packed layout the
+  // hot prefix streams). The adjacency kPrefetchAhead positions down the
+  // sorted walk is software-prefetched. Slot ASSIGNMENT order is
+  // observationally irrelevant: spans[i] is a pure function of
+  // vertices[i], so outputs are bit-identical to the slot-order loop.
   void NeighborsBatch(std::span<const VertexId> vertices, EdgeType type,
                       BatchResult* out) override {
+    constexpr size_t kPrefetchAhead = 8;
     out->Reset(vertices.size());
-    for (size_t i = 0; i < vertices.size(); ++i) {
-      out->spans[i] = type == kAllEdgeTypes
-                          ? graph_.OutNeighbors(vertices[i])
-                          : graph_.OutNeighbors(vertices[i], type);
+    order_.resize(vertices.size());
+    std::iota(order_.begin(), order_.end(), uint32_t{0});
+    std::sort(order_.begin(), order_.end(),
+              [&vertices](uint32_t a, uint32_t b) {
+                return vertices[a] < vertices[b];
+              });
+    for (size_t i = 0; i < order_.size(); ++i) {
+      if (i + kPrefetchAhead < order_.size()) {
+        if (type == kAllEdgeTypes) {
+          graph_.PrefetchOutNeighbors(vertices[order_[i + kPrefetchAhead]]);
+        } else {
+          graph_.PrefetchOutNeighbors(vertices[order_[i + kPrefetchAhead]],
+                                      type);
+        }
+      }
+      const uint32_t slot = order_[i];
+      out->spans[slot] = type == kAllEdgeTypes
+                             ? graph_.OutNeighbors(vertices[slot])
+                             : graph_.OutNeighbors(vertices[slot], type);
     }
   }
 
  private:
   const AttributedGraph& graph_;
+  std::vector<uint32_t> order_;  ///< reusable sorted-walk permutation
 };
 
 /// \brief Reads through the cluster from the perspective of one worker,
@@ -256,6 +282,14 @@ class NeighborhoodSampler {
   VertexId SampleOne(std::span<const Neighbor> nbs, VertexId fallback,
                      size_t rank, Rng& rng);
 
+  /// Draws one slot's whole fan into out[0, fan). For kUniform the index
+  /// draws are batched two-pass (all RNG draws first, then the span
+  /// resolutions) — consuming the RNG stream exactly as the per-draw loop
+  /// would, so results are bit-identical; other strategies take the scalar
+  /// SampleOne path.
+  void DrawFan(std::span<const Neighbor> nbs, VertexId fallback, uint32_t fan,
+               Rng& rng, VertexId* out);
+
   /// Graceful degradation: for every failed slot of a fallible frontier
   /// read, substitute the stale cached adjacency when one is held, else
   /// leave the span empty so SampleOne's fallback repeats the root (a
@@ -297,12 +331,17 @@ class NegativeSampler {
                   std::vector<VertexId> candidates, double power = 0.75,
                   uint64_t seed = 3);
 
-  /// Draws `count` negatives, none equal to `positive`.
+  /// Draws `count` negatives, none equal to `positive`. Draws are issued in
+  /// batched rounds through AliasTable::SampleBatch — the RNG stream is
+  /// consumed exactly as the per-draw loop would, so results are
+  /// bit-identical to the scalar path for the same sampler state.
   std::vector<VertexId> Sample(size_t count, VertexId positive);
 
  private:
   std::vector<VertexId> candidates_;
   AliasTable table_;
+  AliasTable::BatchScratch scratch_;
+  std::vector<size_t> draws_;
   Rng rng_;
 };
 

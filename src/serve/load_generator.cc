@@ -63,11 +63,15 @@ LoadGenerator::LoadGenerator(const AttributedGraph& graph,
 
 std::vector<VertexId> LoadGenerator::RootsFor(uint64_t request_id) const {
   // A private RNG per request, seeded from (config seed, id): draw order
-  // across requests cannot matter.
+  // across requests cannot matter. The ranks are drawn through the alias
+  // table's batched path, which consumes the stream draw-for-draw like the
+  // scalar loop — roots (and everything downstream of them) are unchanged.
   Rng rng(Mix64(config_.seed ^ kRootsSalt ^ Mix64(request_id + 1)));
+  std::vector<size_t> ranks(config_.roots_per_request);
+  zipf_.SampleBatch(rng, ranks);
   std::vector<VertexId> roots(config_.roots_per_request);
-  for (VertexId& root : roots) {
-    root = by_degree_[zipf_.Sample(rng)];
+  for (size_t i = 0; i < ranks.size(); ++i) {
+    roots[i] = by_degree_[ranks[i]];
   }
   return roots;
 }

@@ -10,6 +10,7 @@
 #include "common/histogram.h"
 #include "common/logging.h"
 #include "common/timer.h"
+#include "layout/layout.h"
 #include "nn/layers.h"
 #include "obs/metrics.h"
 #include "pipeline/block_pipeline.h"
@@ -71,10 +72,12 @@ std::string LatencyReport::ToString() const {
 }
 
 ServeEngine::ServeEngine(const AttributedGraph& graph,
-                         const nn::Matrix& features, const ServeConfig& config)
+                         const nn::Matrix& features, const ServeConfig& config,
+                         const layout::VertexLayout* layout)
     : graph_(graph),
       features_(features),
       config_(config),
+      layout_(layout),
       rng_(config.seed),
       layer1_(features.cols(), config.dim, /*maxpool=*/false, rng_),
       layer2_(config.dim, config.dim, /*maxpool=*/false, rng_,
@@ -90,6 +93,18 @@ ServeEngine::ServeEngine(const AttributedGraph& graph,
   ALIGRAPH_CHECK_GT(config_.lanes, 0u);
   ALIGRAPH_CHECK_GT(config_.deadline_us, 0.0);
   ALIGRAPH_CHECK_EQ(features_.rows(), graph_.num_vertices());
+  if (layout_ != nullptr) {
+    ALIGRAPH_CHECK(
+        layout::IsValidPermutation(*layout_, graph_.num_vertices()))
+        << "ServeEngine layout must be a permutation of the graph";
+  }
+}
+
+std::vector<VertexId> ServeEngine::TranslateRoots(const LoadGenerator& gen,
+                                                  uint64_t request_id) const {
+  std::vector<VertexId> roots = gen.RootsFor(request_id);
+  if (layout_ != nullptr) return layout::MapToNew(*layout_, roots);
+  return roots;
 }
 
 LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
@@ -183,7 +198,7 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
         // actual shape) with a private, id-derived sampler.
         NeighborhoodSampler hood(NeighborStrategy::kUniform,
                                  gen.RequestSeed(id));
-        *block = hood.SampleBlock(source, gen.RootsFor(id),
+        *block = hood.SampleBlock(source, TranslateRoots(gen, id),
                                   NeighborhoodSampler::kAllEdgeTypes, fans);
         const double service =
             config_.base_service_us +
@@ -283,7 +298,7 @@ uint64_t ServeEngine::ExecuteOffline(const LoadGenerator& gen,
   NeighborhoodSampler hood(NeighborStrategy::kUniform,
                            gen.RequestSeed(request_id));
   block::SampledBlock blk =
-      hood.SampleBlock(source, gen.RootsFor(request_id),
+      hood.SampleBlock(source, TranslateRoots(gen, request_id),
                        NeighborhoodSampler::kAllEdgeTypes, fans);
   const nn::Matrix x =
       block::GatherBlockFeatures(blk, feature_source, /*row_cache=*/nullptr);

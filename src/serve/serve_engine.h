@@ -71,6 +71,10 @@ class Counter;
 class Histogram;
 }  // namespace obs
 
+namespace layout {
+struct VertexLayout;
+}  // namespace layout
+
 namespace serve {
 
 /// \brief Serving knobs: model shape, admission bound, deadline, and the
@@ -155,8 +159,16 @@ struct LatencyReport {
 /// and features must outlive the engine.
 class ServeEngine {
  public:
+  /// When `layout` is non-null, `graph` and `features` are expected in the
+  /// layout's NEW (reordered) id space — features permuted through
+  /// layout::PermuteRows — while the LoadGenerator and everything reported
+  /// keep speaking ORIGINAL ids. Request roots are translated on entry, so
+  /// a reordered engine is a drop-in replacement: the layout invariance
+  /// tests hold its per-request fingerprints bit-equal to an identity
+  /// engine's. `layout` must outlive the engine.
   ServeEngine(const AttributedGraph& graph, const nn::Matrix& features,
-              const ServeConfig& config);
+              const ServeConfig& config,
+              const layout::VertexLayout* layout = nullptr);
 
   /// Runs the generator's full request stream through the serving pipeline.
   /// Blocks until every offered request is accounted for (completed, shed,
@@ -176,9 +188,15 @@ class ServeEngine {
   const ServeConfig& config() const { return config_; }
 
  private:
+  /// Roots from `gen` (original ids) mapped into the engine's own id space
+  /// (the identity when no layout is installed).
+  std::vector<VertexId> TranslateRoots(const LoadGenerator& gen,
+                                       uint64_t request_id) const;
+
   const AttributedGraph& graph_;
   const nn::Matrix& features_;
   ServeConfig config_;
+  const layout::VertexLayout* layout_ = nullptr;
   Rng rng_;
   algo::SageLayer layer1_;
   algo::SageLayer layer2_;

@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <cmath>
+#include <limits>
 #include <set>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -160,6 +162,116 @@ ALIGRAPH_PROP(AliasTableProps, EmpiricalFrequencyTracksWeights, 12) {
     const double sigma = std::sqrt(expected * (1 - expected) / n);
     EXPECT_NEAR(got, expected, 6 * sigma + 1e-4) << "bucket " << i;
   }
+}
+
+// Property: the two-pass batched draw is BIT-IDENTICAL to the scalar
+// Sample loop on the same RNG stream, for arbitrary weight shapes and
+// batch sizes — including batches larger than the table and a batch split
+// across multiple SampleBatch calls (the stream must advance exactly two
+// draws per sample either way).
+ALIGRAPH_PROP(AliasTableProps, SampleBatchBitIdenticalToScalarLoop, 12) {
+  const size_t buckets = 1 + ctx.rng.Uniform(40);
+  const std::vector<double> w = proptest::RandomWeights(ctx, buckets);
+  AliasTable t(w);
+  const uint64_t seed = ctx.rng.Next();
+  const size_t total = 1 + ctx.rng.Uniform(500);
+
+  Rng scalar_rng(seed);
+  std::vector<size_t> scalar(total);
+  for (size_t& s : scalar) s = t.Sample(scalar_rng);
+
+  Rng batch_rng(seed);
+  std::vector<size_t> batched(total);
+  AliasTable::BatchScratch scratch;
+  // Split the batch at a random point: draws must not depend on batching
+  // boundaries.
+  const size_t split = ctx.rng.Uniform(total + 1);
+  t.SampleBatch(batch_rng, std::span<size_t>(batched).first(split), &scratch);
+  t.SampleBatch(batch_rng, std::span<size_t>(batched).subspan(split),
+                &scratch);
+  EXPECT_EQ(batched, scalar);
+  // The streams are in lockstep afterwards too.
+  EXPECT_EQ(batch_rng.Next(), scalar_rng.Next());
+}
+
+TEST(AliasTableTest, SampleBatchSingleEntryAndAllEqualWeights) {
+  // Regression: degenerate tables where every draw accepts. The batch path
+  // must still consume (Uniform, NextDouble) per draw and return the same
+  // indices as the scalar loop.
+  for (const std::vector<double> w :
+       {std::vector<double>{7.0}, std::vector<double>(6, 123.0)}) {
+    AliasTable t(w);
+    Rng a(99), b(99);
+    std::vector<size_t> batched(64);
+    t.SampleBatch(a, batched);
+    for (const size_t s : batched) EXPECT_LT(s, w.size());
+    for (size_t i = 0; i < batched.size(); ++i) {
+      EXPECT_EQ(batched[i], t.Sample(b)) << "draw " << i;
+    }
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(AliasTableTest, SampleBatchEmptyOutputIsANoop) {
+  AliasTable t(std::vector<double>{1.0, 2.0});
+  Rng rng(5);
+  const uint64_t before = [&] { Rng copy = rng; return copy.Next(); }();
+  t.SampleBatch(rng, {});
+  EXPECT_EQ(rng.Next(), before) << "empty batch must not consume the stream";
+  // An EMPTY TABLE with an empty request is also fine (no draw happens).
+  AliasTable empty;
+  empty.SampleBatch(rng, {});
+}
+
+TEST(AliasTableTest, SampleBatchMatchesDistributionChiSquared) {
+  const std::vector<double> w{1.0, 2.0, 3.0, 4.0};
+  AliasTable t(w);
+  Rng rng(41);
+  std::vector<size_t> draws(100000);
+  AliasTable::BatchScratch scratch;
+  t.SampleBatch(rng, draws, &scratch);
+  std::vector<uint64_t> counts(w.size(), 0);
+  for (const size_t d : draws) ++counts[d];
+  // Pearson chi-squared against the normalized weights; 3 dof, the 99.9%
+  // critical value is 16.27 — a biased batch path blows far past it.
+  double chi2 = 0;
+  for (size_t i = 0; i < w.size(); ++i) {
+    const double expected = static_cast<double>(draws.size()) * w[i] / 10.0;
+    const double diff = static_cast<double>(counts[i]) - expected;
+    chi2 += diff * diff / expected;
+  }
+  EXPECT_LT(chi2, 16.27);
+}
+
+TEST(AliasTableTest, TryBuildRejectsNanAndNegativeWeights) {
+  AliasTable t;
+  EXPECT_TRUE(t.TryBuild({1.0, 2.0}).ok());
+  EXPECT_FALSE(t.empty());
+
+  const Status nan_status =
+      t.TryBuild({1.0, std::numeric_limits<double>::quiet_NaN()});
+  EXPECT_EQ(nan_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.empty()) << "rejected build must leave the table empty";
+
+  const Status neg_status = t.TryBuild({1.0, -0.5});
+  EXPECT_EQ(neg_status.code(), StatusCode::kInvalidArgument);
+  EXPECT_TRUE(t.empty());
+
+  // Infinities are rejected too: they would produce a NaN normalization.
+  EXPECT_FALSE(
+      t.TryBuild({std::numeric_limits<double>::infinity()}).ok());
+
+  // Zero and empty stay OK (empty table, not an error).
+  EXPECT_TRUE(t.TryBuild({0.0, 0.0}).ok());
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(AliasTableDeathTest, BuildAbortsOnInvalidWeights) {
+  EXPECT_DEATH(AliasTable(std::vector<double>{1.0, -2.0}), "negative");
+  EXPECT_DEATH(
+      AliasTable(std::vector<double>{
+          std::numeric_limits<double>::quiet_NaN()}),
+      "NaN");
 }
 
 TEST(LruCacheTest, EvictsLeastRecentlyUsed) {

@@ -255,6 +255,30 @@ TEST(ZipfTest, EmpiricalFrequenciesMatchAnalyticPmf) {
   EXPECT_GT(counts[0], 4 * counts[cfg.num_ranks - 1]);
 }
 
+// The serving layer's RootsFor draws ranks through SampleBatch; this
+// property is what keeps every seeded root stream (and the serve baseline
+// keys downstream of it) unchanged by the batching: the batched draw is
+// bit-identical to the scalar Sample loop on the same RNG stream.
+ALIGRAPH_PROP(ZipfProps, SampleBatchBitIdenticalToScalarSampleLoop, 8) {
+  ZipfConfig cfg;
+  cfg.num_ranks = 1 + ctx.rng.Uniform(2000);
+  cfg.exponent = ctx.rng.NextDouble() * 1.5;
+  cfg.seed = ctx.rng.Next();
+  ZipfSampler z(cfg);
+
+  const uint64_t stream_seed = ctx.rng.Next();
+  const size_t count = 1 + ctx.rng.Uniform(300);
+  Rng scalar_rng(stream_seed);
+  std::vector<size_t> scalar(count);
+  for (size_t& s : scalar) s = z.Sample(scalar_rng);
+
+  Rng batch_rng(stream_seed);
+  std::vector<size_t> batched(count);
+  z.SampleBatch(batch_rng, batched);
+  EXPECT_EQ(batched, scalar);
+  EXPECT_EQ(batch_rng.Next(), scalar_rng.Next());
+}
+
 TEST(ZipfTest, ZeroExponentIsUniform) {
   ZipfConfig cfg;
   cfg.num_ranks = 64;

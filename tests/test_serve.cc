@@ -15,6 +15,7 @@
 #include "algo/embedding_algorithm.h"
 #include "gen/powerlaw.h"
 #include "graph/graph.h"
+#include "layout/layout.h"
 #include "nn/matrix.h"
 #include "obs/metrics.h"
 #include "obs/timeline.h"
@@ -280,6 +281,99 @@ TEST(ServeEngineTest, ModeledTimelineDeterministicAcrossRunsAndDepths) {
       EXPECT_DOUBLE_EQ(r.latency_us, b.latency_us) << "id " << id;
       EXPECT_EQ(r.fingerprint, b.fingerprint) << "id " << id;
     }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layout invariance: a vertex reordering is observationally invisible to
+// the serving layer. The LoadGenerator keeps speaking original ids, the
+// engine translates roots at the boundary, and every modeled number and
+// embedding fingerprint is bit-equal to the identity-layout engine's —
+// across layout policies and pipeline depths.
+
+TEST(ServeEngineTest, ReorderingIsInvisibleAcrossPoliciesAndDepths) {
+  const AttributedGraph graph = TestGraph();
+  const nn::Matrix features = algo::BuildFeatureMatrix(graph, 8);
+
+  LoadConfig load;
+  load.num_requests = 150;
+  load.roots_per_request = 4;
+  load.arrival_rate_rps = 20000.0;  // mild overload: mixed outcomes
+  load.seed = 61;
+  const LoadGenerator gen(graph, load);
+
+  ServeConfig cfg = SmallServeConfig();
+  ServeEngine base_engine(graph, features, cfg);
+  const LatencyReport base = base_engine.Run(gen);
+  const std::vector<RequestResult> base_results = base_engine.results();
+  ASSERT_GT(base.completed, 0u);
+
+  for (const layout::LayoutPolicy policy :
+       {layout::LayoutPolicy::kDegreeDescending,
+        layout::LayoutPolicy::kBfsCluster}) {
+    const layout::VertexLayout lay = layout::ComputeLayout(graph, policy);
+    const AttributedGraph reordered =
+        std::move(layout::ApplyLayout(graph, lay)).value();
+    const nn::Matrix permuted = layout::PermuteRows(features, lay);
+
+    for (const size_t depth : {size_t{1}, size_t{3}}) {
+      ServeConfig rcfg = cfg;
+      rcfg.pipeline_depth = depth;
+      ServeEngine engine(reordered, permuted, rcfg, &lay);
+      const LatencyReport report = engine.Run(gen);
+
+      EXPECT_EQ(report.completed, base.completed);
+      EXPECT_EQ(report.shed, base.shed);
+      EXPECT_EQ(report.deadline_missed, base.deadline_missed);
+      EXPECT_DOUBLE_EQ(report.p50_us, base.p50_us);
+      EXPECT_DOUBLE_EQ(report.p99_us, base.p99_us);
+      EXPECT_DOUBLE_EQ(report.goodput_rps, base.goodput_rps);
+      ASSERT_EQ(engine.results().size(), base_results.size());
+      for (size_t id = 0; id < base_results.size(); ++id) {
+        const RequestResult& b = base_results[id];
+        const RequestResult& r = engine.results()[id];
+        EXPECT_EQ(static_cast<int>(r.outcome), static_cast<int>(b.outcome))
+            << "id " << id;
+        EXPECT_DOUBLE_EQ(r.latency_us, b.latency_us) << "id " << id;
+        EXPECT_EQ(r.fingerprint, b.fingerprint)
+            << layout::PolicyName(policy) << " depth " << depth << " id "
+            << id;
+      }
+      // The offline replay contract survives reordering too.
+      for (uint64_t id = 0; id < 20; ++id) {
+        EXPECT_EQ(engine.ExecuteOffline(gen, id),
+                  base_engine.ExecuteOffline(gen, id))
+            << "id " << id;
+      }
+    }
+  }
+}
+
+TEST(ServeEngineTest, LoadGeneratorRootsUntouchedByReordering) {
+  // The generator is constructed over the ORIGINAL graph and its roots are
+  // original ids; nothing about building or serving a reordered engine may
+  // perturb them (they are compared against a second, untouched generator).
+  const AttributedGraph graph = TestGraph();
+  const nn::Matrix features = algo::BuildFeatureMatrix(graph, 8);
+  LoadConfig load;
+  load.num_requests = 40;
+  load.roots_per_request = 5;
+  load.seed = 77;
+  const LoadGenerator gen(graph, load);
+  const LoadGenerator untouched(graph, load);
+
+  const layout::VertexLayout lay =
+      layout::ComputeLayout(graph, layout::LayoutPolicy::kDegreeDescending);
+  const AttributedGraph reordered =
+      std::move(layout::ApplyLayout(graph, lay)).value();
+  const nn::Matrix permuted = layout::PermuteRows(features, lay);
+  ServeEngine engine(reordered, permuted, SmallServeConfig(), &lay);
+  (void)engine.Run(gen);
+
+  for (uint64_t id = 0; id < load.num_requests; ++id) {
+    const std::vector<VertexId> roots = gen.RootsFor(id);
+    EXPECT_EQ(roots, untouched.RootsFor(id)) << "id " << id;
+    for (const VertexId v : roots) EXPECT_LT(v, graph.num_vertices());
   }
 }
 
