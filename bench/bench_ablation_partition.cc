@@ -26,9 +26,9 @@ int main(int argc, char** argv) {
   std::printf("dataset: %s, 8 workers\n\n", graph.ToString().c_str());
 
   bench::Row({"partitioner", "partition (ms)", "edge cut", "edge balance",
-              "remote reads"});
+              "repl factor", "hot share", "remote reads"});
   for (const char* name :
-       {"edge_cut", "vertex_cut", "grid2d", "streaming", "metis"}) {
+       {"edge_cut", "vertex_cut", "grid2d", "streaming", "metis", "hybrid"}) {
     auto partitioner = std::move(MakePartitioner(name)).value();
     Timer t;
     ClusterBuildReport report;
@@ -52,6 +52,8 @@ int main(int argc, char** argv) {
     bench::Row({name, bench::Fmt("%.1f", partition_ms),
                 bench::Fmt("%.3f", report.partition_stats.edge_cut_fraction),
                 bench::Fmt("%.2f", report.partition_stats.edge_balance),
+                bench::Fmt("%.2f", report.partition_stats.replication_factor),
+                bench::Fmt("%.3f", report.partition_stats.hot_server_share),
                 std::to_string(stats.remote_reads.load())});
   }
   return 0;

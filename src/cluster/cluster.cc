@@ -83,20 +83,34 @@ Result<Cluster> Cluster::Build(const AttributedGraph& graph,
         std::make_unique<GraphServer>(w, num_types));
   }
 
-  // Distribution pass: route every vertex and out-edge to its owner. This
-  // is per-source parallelizable; the per-worker share is distribute/p.
+  // Distribution pass: route every vertex and out-edge to its owner, and a
+  // full copy to each replica worker (identical edge order, so replica
+  // layouts are byte-identical to the primary's). This is per-source
+  // parallelizable; the per-worker share is distribute/p.
   phase.Reset();
   const VertexId n = graph.num_vertices();
   for (VertexId v = 0; v < n; ++v) {
     GraphServer& srv = *cluster.servers_[cluster.plan_.OwnerOf(v)];
     srv.AddVertex(v, graph.vertex_attr(v));
+    const std::span<const WorkerId> copies = cluster.plan_.ReplicasOf(v);
+    for (const WorkerId r : copies) {
+      cluster.servers_[r]->AddReplicaVertex(v, graph.vertex_attr(v));
+    }
     for (size_t t = 0; t < num_types; ++t) {
       for (const Neighbor& nb : graph.OutNeighbors(v, static_cast<EdgeType>(t))) {
         srv.AddEdge(v, static_cast<EdgeType>(t), nb);
+        for (const WorkerId r : copies) {
+          cluster.servers_[r]->AddReplicaEdge(v, static_cast<EdgeType>(t), nb);
+        }
       }
     }
   }
   const double distribute_ms = phase.ElapsedMillis();
+
+  cluster.served_reads_.reset(new std::atomic<uint64_t>[num_workers]);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    cluster.served_reads_[w].store(0, std::memory_order_relaxed);
+  }
 
   // Local build per worker, timed individually; the slowest worker defines
   // the simulated parallel critical path.
@@ -122,6 +136,7 @@ Result<Cluster> Cluster::Build(const AttributedGraph& graph,
 
   if (obs::MetricsRegistry* reg = obs::Default()) {
     cluster.obs_.local_reads = reg->GetCounter("comm.local_reads");
+    cluster.obs_.replica_reads = reg->GetCounter("comm.replica_reads");
     cluster.obs_.cache_hits = reg->GetCounter("comm.cache_hits");
     cluster.obs_.remote_reads = reg->GetCounter("comm.remote_reads");
     cluster.obs_.remote_batches = reg->GetCounter("comm.remote_batches");
@@ -139,51 +154,77 @@ Result<Cluster> Cluster::Build(const AttributedGraph& graph,
 }
 
 std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
-                                                CommStats* stats) {
+                                                CommStats* stats,
+                                                uint64_t epoch) {
+  const uint64_t e = ResolveEpoch(epoch);
   const WorkerId owner = plan_.OwnerOf(v);
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
     if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
-    return servers_[owner]->Neighbors(v);
+    CountServed(from);
+    return servers_[owner]->NeighborsAt(v, e);
+  }
+  if (plan_.HasReplicas() && servers_[from]->HasReplica(v)) {
+    if (stats != nullptr) stats->replica_reads.fetch_add(1);
+    if (obs_.replica_reads != nullptr) obs_.replica_reads->Add(1);
+    CountServed(from);
+    return servers_[from]->NeighborsAt(v, e);
   }
   NeighborCache* cache = servers_[from]->neighbor_cache();
-  if (cache != nullptr) {
+  const bool dirty = BypassCache(cache, v, e);
+  if (cache != nullptr && !dirty) {
     auto hit = cache->Lookup(v);
     if (hit.has_value()) {
       if (stats != nullptr) stats->cache_hits.fetch_add(1);
       if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
+      CountServed(from);
       return *hit;
     }
   }
+  const WorkerId target = plan_.ServingWorker(v, from);
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
   if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
-  const auto nbs = servers_[owner]->Neighbors(v);
-  if (cache != nullptr) cache->OnRemoteFetch(v, nbs);
+  CountServed(target);
+  const auto nbs = servers_[target]->NeighborsAt(v, e);
+  if (cache != nullptr && !dirty) cache->OnRemoteFetch(v, nbs);
   return nbs;
 }
 
 std::span<const Neighbor> Cluster::GetNeighbors(WorkerId from, VertexId v,
                                                 EdgeType type,
-                                                CommStats* stats) {
+                                                CommStats* stats,
+                                                uint64_t epoch) {
+  const uint64_t e = ResolveEpoch(epoch);
   const WorkerId owner = plan_.OwnerOf(v);
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
     if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
-    return servers_[owner]->Neighbors(v, type);
+    CountServed(from);
+    return servers_[owner]->NeighborsAt(v, type, e);
+  }
+  if (plan_.HasReplicas() && servers_[from]->HasReplica(v)) {
+    if (stats != nullptr) stats->replica_reads.fetch_add(1);
+    if (obs_.replica_reads != nullptr) obs_.replica_reads->Add(1);
+    CountServed(from);
+    return servers_[from]->NeighborsAt(v, type, e);
   }
   NeighborCache* cache = servers_[from]->neighbor_cache();
-  if (cache != nullptr && cache->Lookup(v).has_value()) {
+  const bool dirty = BypassCache(cache, v, e);
+  if (cache != nullptr && !dirty && cache->Lookup(v).has_value()) {
     // The pinned copy holds all types; serve the typed view from the owner's
     // layout (same bytes) while charging a cache hit.
     if (stats != nullptr) stats->cache_hits.fetch_add(1);
     if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
-    return servers_[owner]->Neighbors(v, type);
+    CountServed(from);
+    return servers_[owner]->NeighborsAt(v, type, e);
   }
+  const WorkerId target = plan_.ServingWorker(v, from);
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
   if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
-  const auto all = servers_[owner]->Neighbors(v);
-  if (cache != nullptr) cache->OnRemoteFetch(v, all);
-  return servers_[owner]->Neighbors(v, type);
+  CountServed(target);
+  const auto all = servers_[target]->NeighborsAt(v, e);
+  if (cache != nullptr && !dirty) cache->OnRemoteFetch(v, all);
+  return servers_[target]->NeighborsAt(v, type, e);
 }
 
 BucketExecutor& Cluster::executor() {
@@ -262,63 +303,89 @@ bool Cluster::RemoteRequestSucceeds(WorkerId from, WorkerId to,
 
 Result<std::span<const Neighbor>> Cluster::TryGetNeighbors(WorkerId from,
                                                            VertexId v,
-                                                           CommStats* stats) {
+                                                           CommStats* stats,
+                                                           uint64_t epoch) {
+  const uint64_t e = ResolveEpoch(epoch);
   const WorkerId owner = plan_.OwnerOf(v);
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
     if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
-    return servers_[owner]->Neighbors(v);
+    CountServed(from);
+    return servers_[owner]->NeighborsAt(v, e);
+  }
+  if (plan_.HasReplicas() && servers_[from]->HasReplica(v)) {
+    if (stats != nullptr) stats->replica_reads.fetch_add(1);
+    if (obs_.replica_reads != nullptr) obs_.replica_reads->Add(1);
+    CountServed(from);
+    return servers_[from]->NeighborsAt(v, e);
   }
   NeighborCache* cache = servers_[from]->neighbor_cache();
-  if (cache != nullptr) {
+  const bool dirty = BypassCache(cache, v, e);
+  if (cache != nullptr && !dirty) {
     auto hit = cache->Lookup(v);
     if (hit.has_value()) {
       if (stats != nullptr) stats->cache_hits.fetch_add(1);
       if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
+      CountServed(from);
       return *hit;
     }
   }
-  if (!RemoteRequestSucceeds(from, owner, PerVertexRequestKey(v, kAllEdgeTypes),
-                             stats)) {
+  const WorkerId target = plan_.ServingWorker(v, from);
+  if (!RemoteRequestSucceeds(from, target,
+                             PerVertexRequestKey(v, kAllEdgeTypes), stats)) {
     return Status::Unavailable("neighbors of vertex " + std::to_string(v) +
-                               ": worker " + std::to_string(owner) +
+                               ": worker " + std::to_string(target) +
                                " did not answer within the retry budget");
   }
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
   if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
-  const auto nbs = servers_[owner]->Neighbors(v);
-  if (cache != nullptr) cache->OnRemoteFetch(v, nbs);
+  CountServed(target);
+  const auto nbs = servers_[target]->NeighborsAt(v, e);
+  if (cache != nullptr && !dirty) cache->OnRemoteFetch(v, nbs);
   return nbs;
 }
 
 Result<std::span<const Neighbor>> Cluster::TryGetNeighbors(WorkerId from,
                                                            VertexId v,
                                                            EdgeType type,
-                                                           CommStats* stats) {
+                                                           CommStats* stats,
+                                                           uint64_t epoch) {
+  const uint64_t e = ResolveEpoch(epoch);
   const WorkerId owner = plan_.OwnerOf(v);
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
     if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
-    return servers_[owner]->Neighbors(v, type);
+    CountServed(from);
+    return servers_[owner]->NeighborsAt(v, type, e);
+  }
+  if (plan_.HasReplicas() && servers_[from]->HasReplica(v)) {
+    if (stats != nullptr) stats->replica_reads.fetch_add(1);
+    if (obs_.replica_reads != nullptr) obs_.replica_reads->Add(1);
+    CountServed(from);
+    return servers_[from]->NeighborsAt(v, type, e);
   }
   NeighborCache* cache = servers_[from]->neighbor_cache();
-  if (cache != nullptr && cache->Lookup(v).has_value()) {
+  const bool dirty = BypassCache(cache, v, e);
+  if (cache != nullptr && !dirty && cache->Lookup(v).has_value()) {
     if (stats != nullptr) stats->cache_hits.fetch_add(1);
     if (obs_.cache_hits != nullptr) obs_.cache_hits->Add(1);
-    return servers_[owner]->Neighbors(v, type);
+    CountServed(from);
+    return servers_[owner]->NeighborsAt(v, type, e);
   }
-  if (!RemoteRequestSucceeds(from, owner, PerVertexRequestKey(v, type),
+  const WorkerId target = plan_.ServingWorker(v, from);
+  if (!RemoteRequestSucceeds(from, target, PerVertexRequestKey(v, type),
                              stats)) {
     return Status::Unavailable("typed neighbors of vertex " +
                                std::to_string(v) + ": worker " +
-                               std::to_string(owner) +
+                               std::to_string(target) +
                                " did not answer within the retry budget");
   }
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
   if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
-  const auto all = servers_[owner]->Neighbors(v);
-  if (cache != nullptr) cache->OnRemoteFetch(v, all);
-  return servers_[owner]->Neighbors(v, type);
+  CountServed(target);
+  const auto all = servers_[target]->NeighborsAt(v, e);
+  if (cache != nullptr && !dirty) cache->OnRemoteFetch(v, all);
+  return servers_[target]->NeighborsAt(v, type, e);
 }
 
 Result<AttrId> Cluster::TryGetVertexAttr(WorkerId from, VertexId v,
@@ -327,7 +394,15 @@ Result<AttrId> Cluster::TryGetVertexAttr(WorkerId from, VertexId v,
   if (owner == from) {
     if (stats != nullptr) stats->local_reads.fetch_add(1);
     if (obs_.local_reads != nullptr) obs_.local_reads->Add(1);
+    CountServed(from);
     return servers_[owner]->VertexAttr(v);
+  }
+  // Attributes are immutable, so a replica copy is always current.
+  if (plan_.HasReplicas() && servers_[from]->HasReplica(v)) {
+    if (stats != nullptr) stats->replica_reads.fetch_add(1);
+    if (obs_.replica_reads != nullptr) obs_.replica_reads->Add(1);
+    CountServed(from);
+    return servers_[from]->VertexAttr(v);
   }
   if (!RemoteRequestSucceeds(from, owner, AttrRequestKey(v), stats)) {
     return Status::Unavailable("attribute of vertex " + std::to_string(v) +
@@ -336,6 +411,7 @@ Result<AttrId> Cluster::TryGetVertexAttr(WorkerId from, VertexId v,
   }
   if (stats != nullptr) stats->remote_reads.fetch_add(1);
   if (obs_.remote_reads != nullptr) obs_.remote_reads->Add(1);
+  CountServed(owner);
   return servers_[owner]->VertexAttr(v);
 }
 
@@ -367,6 +443,7 @@ Status Cluster::GetVertexAttrBatchImpl(WorkerId from,
   // Owned slots resolve immediately; the remote residue is deduplicated and
   // grouped by destination worker (attributes are never neighbor-cached).
   uint64_t local_count = 0;
+  uint64_t replica_count = 0;
   std::unordered_map<VertexId, std::vector<uint32_t>> remote_slots;
   std::vector<std::vector<VertexId>> per_worker(servers_.size());
   for (size_t i = 0; i < batch.size(); ++i) {
@@ -375,6 +452,12 @@ Status Cluster::GetVertexAttrBatchImpl(WorkerId from,
     if (owner == from) {
       (*ids)[i] = servers_[owner]->VertexAttr(v);
       ++local_count;
+      continue;
+    }
+    // Attributes are immutable, so a replica copy is always current.
+    if (plan_.HasReplicas() && servers_[from]->HasReplica(v)) {
+      (*ids)[i] = servers_[from]->VertexAttr(v);
+      ++replica_count;
       continue;
     }
     auto [it, inserted] = remote_slots.try_emplace(v);
@@ -402,6 +485,7 @@ Status Cluster::GetVertexAttrBatchImpl(WorkerId from,
       continue;
     }
     ++contacted_workers;
+    CountServed(w, per_worker[w].size());
     const GraphServer& srv = *servers_[w];
     for (const VertexId v : per_worker[w]) {
       const AttrId attr = srv.VertexAttr(v);
@@ -410,14 +494,17 @@ Status Cluster::GetVertexAttrBatchImpl(WorkerId from,
   }
 
   const uint64_t unique_remote = remote_slots.size() - failed_vertices;
+  CountServed(from, local_count + replica_count);
   if (stats != nullptr) {
     stats->local_reads.fetch_add(local_count);
+    stats->replica_reads.fetch_add(replica_count);
     stats->remote_reads.fetch_add(unique_remote);
     stats->batched_remote_reads.fetch_add(unique_remote);
     stats->remote_batches.fetch_add(contacted_workers);
   }
   if (obs_.local_reads != nullptr) {
     obs_.local_reads->Add(local_count);
+    obs_.replica_reads->Add(replica_count);
     obs_.remote_reads->Add(unique_remote);
     obs_.batched_remote_reads->Add(unique_remote);
     obs_.remote_batches->Add(contacted_workers);
@@ -436,36 +523,221 @@ void Cluster::InstallFaultInjection(FaultConfig config, RetryPolicy policy) {
 
 void Cluster::ClearFaultInjection() { injector_.reset(); }
 
+std::shared_ptr<const Cluster::DirtyMap> Cluster::dirty_snapshot() const {
+  std::lock_guard<std::mutex> lock(*dirty_mu_);
+  return dirty_;
+}
+
+bool Cluster::BypassCache(NeighborCache* cache, VertexId v, uint64_t e) {
+  if (cache == nullptr || !epochs_->versioned()) return false;
+  const auto dirty = dirty_snapshot();
+  if (dirty == nullptr) return false;
+  auto it = dirty->find(v);
+  if (it == dirty->end() || it->second > e) return false;
+  cache->Invalidate(v);
+  return true;
+}
+
+std::vector<uint64_t> Cluster::ServedReadsSnapshot() const {
+  std::vector<uint64_t> out(num_workers());
+  for (uint32_t w = 0; w < out.size(); ++w) {
+    out[w] = served_reads_[w].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Cluster::ResetServedReads() {
+  for (uint32_t w = 0; w < num_workers(); ++w) {
+    served_reads_[w].store(0, std::memory_order_relaxed);
+  }
+}
+
+Status Cluster::ApplyUpdateBatch(std::span<const EdgeUpdate> updates,
+                                 UpdateReport* report) {
+  std::lock_guard<std::mutex> lock(*update_mu_);
+  obs::ScopedSpan span("cluster/apply_updates");
+  const VertexId n = graph_->num_vertices();
+  const size_t num_types = graph_->num_edge_types();
+  const uint64_t new_epoch = epochs_->current() + 1;
+
+  // Group the batch by source vertex, preserving per-source order.
+  std::unordered_map<VertexId, std::vector<const EdgeUpdate*>> by_src;
+  std::vector<VertexId> sources;
+  size_t applied = 0;
+  size_t skipped = 0;
+  for (const EdgeUpdate& u : updates) {
+    if (u.src >= n || u.type >= num_types ||
+        (u.kind == EdgeUpdate::Kind::kInsert && u.dst >= n)) {
+      ++skipped;
+      continue;
+    }
+    auto [it, inserted] = by_src.try_emplace(u.src);
+    if (inserted) sources.push_back(u.src);
+    it->second.push_back(&u);
+  }
+
+  // Rebuild each touched vertex's full typed adjacency from the latest
+  // published state and stamp ONE immutable version at the new epoch. The
+  // same version object is shared by the primary and every replica, which
+  // is what makes all copies flip together when the epoch advances.
+  std::vector<std::pair<VertexId, AdjVersionPtr>> versions;
+  versions.reserve(sources.size());
+  for (const VertexId v : sources) {
+    const GraphServer& osrv = *servers_[plan_.OwnerOf(v)];
+    std::vector<std::vector<Neighbor>> typed(num_types);
+    for (size_t t = 0; t < num_types; ++t) {
+      const auto s = osrv.NeighborsAt(v, static_cast<EdgeType>(t),
+                                      kEpochCurrent);
+      typed[t].assign(s.begin(), s.end());
+    }
+    bool changed = false;
+    for (const EdgeUpdate* u : by_src[v]) {
+      std::vector<Neighbor>& list = typed[u->type];
+      if (u->kind == EdgeUpdate::Kind::kInsert) {
+        list.push_back(Neighbor{u->dst, u->weight, u->attr});
+        ++applied;
+        changed = true;
+      } else {
+        auto match = std::find_if(
+            list.begin(), list.end(),
+            [u](const Neighbor& nb) { return nb.dst == u->dst; });
+        if (match == list.end()) {
+          ++skipped;
+        } else {
+          list.erase(match);
+          ++applied;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) continue;
+    auto ver = std::make_shared<AdjVersion>();
+    ver->epoch = new_epoch;
+    ver->type_offsets.resize(num_types + 1, 0);
+    size_t total = 0;
+    for (size_t t = 0; t < num_types; ++t) {
+      ver->type_offsets[t] = static_cast<uint32_t>(total);
+      total += typed[t].size();
+    }
+    ver->type_offsets[num_types] = static_cast<uint32_t>(total);
+    ver->neighbors.reserve(total);
+    for (size_t t = 0; t < num_types; ++t) {
+      ver->neighbors.insert(ver->neighbors.end(), typed[t].begin(),
+                            typed[t].end());
+    }
+    versions.emplace_back(v, std::move(ver));
+  }
+
+  if (versions.empty()) {
+    // Nothing changed: do not burn an epoch (a never-updated cluster stays
+    // on the epoch-0 fast path).
+    if (report != nullptr) {
+      report->epoch = epochs_->current();
+      report->applied = applied;
+      report->skipped = skipped;
+      report->versions_pruned = 0;
+    }
+    return Status::OK();
+  }
+
+  // Copy-on-write republish of every touched server's delta table,
+  // reclaiming versions no pinned reader can still reach: the newest
+  // version at or below the min-active epoch shadows everything older.
+  const uint64_t min_active = epochs_->MinActiveEpoch();
+  size_t pruned = 0;
+  std::unordered_map<WorkerId, std::vector<std::pair<VertexId, AdjVersionPtr>>>
+      per_server;
+  for (const auto& [v, ver] : versions) {
+    per_server[plan_.OwnerOf(v)].emplace_back(v, ver);
+    for (const WorkerId r : plan_.ReplicasOf(v)) {
+      per_server[r].emplace_back(v, ver);
+    }
+  }
+  for (auto& [w, items] : per_server) {
+    const auto old_table = servers_[w]->delta_snapshot();
+    auto table = old_table != nullptr ? std::make_shared<DeltaTable>(*old_table)
+                                      : std::make_shared<DeltaTable>();
+    for (const auto& [v, ver] : items) {
+      std::vector<AdjVersionPtr>& chain = (*table)[v];
+      chain.push_back(ver);
+      size_t newest_le = chain.size();
+      for (size_t i = 0; i < chain.size(); ++i) {
+        if (chain[i]->epoch <= min_active) newest_le = i;
+      }
+      if (newest_le != chain.size() && newest_le > 0) {
+        pruned += newest_le;
+        chain.erase(chain.begin(),
+                    chain.begin() + static_cast<ptrdiff_t>(newest_le));
+      }
+    }
+    servers_[w]->PublishDelta(std::move(table));
+  }
+
+  // Publish the dirty map (vertex -> first-update epoch, kept at the
+  // earliest), THEN advance: a reader that sees the new epoch is guaranteed
+  // to also see every table and the dirty entries of this batch.
+  {
+    std::lock_guard<std::mutex> dirty_lock(*dirty_mu_);
+    auto next = dirty_ != nullptr ? std::make_shared<DirtyMap>(*dirty_)
+                                  : std::make_shared<DirtyMap>();
+    for (const auto& [v, ver] : versions) next->try_emplace(v, new_epoch);
+    dirty_ = std::move(next);
+  }
+  const uint64_t published = epochs_->Advance();
+
+  if (obs::MetricsRegistry* reg = obs::Default()) {
+    reg->GetCounter("update.batches")->Add(1);
+    reg->GetCounter("update.edges_applied")->Add(applied);
+    reg->GetCounter("update.skipped")->Add(skipped);
+    reg->GetCounter("update.versions_pruned")->Add(pruned);
+    reg->GetGauge("update.epoch")->Set(static_cast<double>(published));
+  }
+  if (report != nullptr) {
+    report->epoch = published;
+    report->applied = applied;
+    report->skipped = skipped;
+    report->versions_pruned = pruned;
+  }
+  return Status::OK();
+}
+
 void Cluster::GetNeighborsBatch(WorkerId from,
                                 std::span<const VertexId> batch,
                                 EdgeType type, BatchResult* out,
-                                CommStats* stats) {
+                                CommStats* stats, uint64_t epoch) {
   // Infallible path: never consults the injector, so installed-but-unused
   // fault configs cannot perturb it. Always OK, hence the discarded Status.
   (void)GetNeighborsBatchImpl(from, batch, type, out, stats,
-                              /*fallible=*/false);
+                              /*fallible=*/false, epoch);
 }
 
 Status Cluster::TryGetNeighborsBatch(WorkerId from,
                                      std::span<const VertexId> batch,
                                      EdgeType type, BatchResult* out,
-                                     CommStats* stats) {
+                                     CommStats* stats, uint64_t epoch) {
   return GetNeighborsBatchImpl(from, batch, type, out, stats,
-                               fault_injection_enabled());
+                               fault_injection_enabled(), epoch);
 }
 
 Status Cluster::GetNeighborsBatchImpl(WorkerId from,
                                       std::span<const VertexId> batch,
                                       EdgeType type, BatchResult* out,
-                                      CommStats* stats, bool fallible) {
+                                      CommStats* stats, bool fallible,
+                                      uint64_t epoch) {
   obs::ScopedSpan span("cluster/batch_read");
   const bool all_types = type == kAllEdgeTypes;
+  // Resolved once, so the whole batch reads one epoch even unpinned.
+  const uint64_t e = ResolveEpoch(epoch);
   out->Reset(batch.size());
   NeighborCache* cache = servers_[from]->neighbor_cache();
+  const bool has_replicas = plan_.HasReplicas();
 
-  // Partition the batch: owned and cache-hit slots resolve immediately;
-  // the remote residue is deduplicated and grouped by destination worker.
+  // Partition the batch: owned, replica-held and cache-hit slots resolve
+  // immediately; the remote residue is deduplicated and grouped by its
+  // serving worker (the owner when unreplicated, a hash-spread copy holder
+  // otherwise).
   uint64_t local_count = 0;
+  uint64_t replica_count = 0;
   uint64_t hit_count = 0;
   // unique remote vertex -> slots in `batch` that asked for it
   std::unordered_map<VertexId, std::vector<uint32_t>> remote_slots;
@@ -474,23 +746,31 @@ Status Cluster::GetNeighborsBatchImpl(WorkerId from,
     const VertexId v = batch[i];
     const WorkerId owner = plan_.OwnerOf(v);
     if (owner == from) {
-      out->spans[i] = all_types ? servers_[owner]->Neighbors(v)
-                                : servers_[owner]->Neighbors(v, type);
+      out->spans[i] = all_types ? servers_[owner]->NeighborsAt(v, e)
+                                : servers_[owner]->NeighborsAt(v, type, e);
       ++local_count;
       continue;
     }
-    if (cache != nullptr) {
+    if (has_replicas && servers_[from]->HasReplica(v)) {
+      out->spans[i] = all_types ? servers_[from]->NeighborsAt(v, e)
+                                : servers_[from]->NeighborsAt(v, type, e);
+      ++replica_count;
+      continue;
+    }
+    const bool dirty = BypassCache(cache, v, e);
+    if (cache != nullptr && !dirty) {
       auto hit = cache->Lookup(v);
       if (hit.has_value()) {
         // The pinned copy holds all types; the typed view is served from
         // the owner's layout (same bytes) while charging a cache hit.
-        out->spans[i] = all_types ? *hit : servers_[owner]->Neighbors(v, type);
+        out->spans[i] =
+            all_types ? *hit : servers_[owner]->NeighborsAt(v, type, e);
         ++hit_count;
         continue;
       }
     }
     auto [it, inserted] = remote_slots.try_emplace(v);
-    if (inserted) per_worker[owner].push_back(v);
+    if (inserted) per_worker[plan_.ServingWorker(v, from)].push_back(v);
     it->second.push_back(static_cast<uint32_t>(i));
   }
 
@@ -531,7 +811,7 @@ Status Cluster::GetNeighborsBatchImpl(WorkerId from,
     BucketExecutor& exec = executor();
     for (WorkerRequest& req : requests) {
       req.response.resize(req.vertices->size());
-      auto op = [this, &req, &pending] {
+      auto op = [this, &req, &pending, e] {
         {
           // Recorded on the consumer thread; parents under
           // cluster/batch_read via the context the executor adopted at
@@ -541,7 +821,7 @@ Status Cluster::GetNeighborsBatchImpl(WorkerId from,
           obs::ScopedSpan serve_span("cluster/remote_serve");
           const GraphServer& srv = *servers_[req.worker];
           for (size_t j = 0; j < req.vertices->size(); ++j) {
-            req.response[j] = srv.Neighbors((*req.vertices)[j]);
+            req.response[j] = srv.NeighborsAt((*req.vertices)[j], e);
           }
         }
         pending.fetch_sub(1, std::memory_order_release);
@@ -559,12 +839,17 @@ Status Cluster::GetNeighborsBatchImpl(WorkerId from,
   // Scatter responses to every slot that asked, and admit fetched data into
   // the reactive cache on the calling thread (caches are not thread-safe).
   for (const WorkerRequest& req : requests) {
+    CountServed(req.worker, req.vertices->size());
     for (size_t j = 0; j < req.vertices->size(); ++j) {
       const VertexId v = (*req.vertices)[j];
       const std::span<const Neighbor> full = req.response[j];
-      if (cache != nullptr) cache->OnRemoteFetch(v, full);
+      // Updated vertices are never admitted: the cache may only ever hold
+      // pre-update data, which is what makes the dirty-bypass rule exact.
+      if (cache != nullptr && !BypassCache(cache, v, e)) {
+        cache->OnRemoteFetch(v, full);
+      }
       const std::span<const Neighbor> view =
-          all_types ? full : servers_[req.worker]->Neighbors(v, type);
+          all_types ? full : servers_[req.worker]->NeighborsAt(v, type, e);
       for (const uint32_t slot : remote_slots[v]) out->spans[slot] = view;
     }
   }

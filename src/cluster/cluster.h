@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "cluster/comm_model.h"
+#include "cluster/epoch.h"
 #include "cluster/graph_server.h"
 #include "cluster/request_bucket.h"
 #include "common/status.h"
@@ -45,6 +46,27 @@ struct ClusterBuildReport {
   std::string ToString() const;
 };
 
+/// \brief One online edge mutation. Inserts append (dst, weight, attr) to
+/// src's adjacency under `type`; removes delete the first neighbor of src
+/// matching (dst, type). Vertex attributes are immutable under updates.
+struct EdgeUpdate {
+  enum class Kind : uint8_t { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  VertexId src = 0;
+  VertexId dst = 0;
+  EdgeType type = 0;
+  float weight = 1.0f;
+  AttrId attr = kNoAttr;
+};
+
+/// \brief Outcome of one ApplyUpdateBatch call.
+struct UpdateReport {
+  uint64_t epoch = 0;    ///< the epoch this batch became visible at
+  size_t applied = 0;    ///< updates applied
+  size_t skipped = 0;    ///< out-of-range sources / removes with no match
+  size_t versions_pruned = 0;  ///< retired versions reclaimed this batch
+};
+
 /// \brief A distributed AttributedGraph over p simulated workers.
 class Cluster {
  public:
@@ -62,18 +84,23 @@ class Cluster {
   GraphServer& server(WorkerId w) { return *servers_[w]; }
   const GraphServer& server(WorkerId w) const { return *servers_[w]; }
   const AttributedGraph& graph() const { return *graph_; }
-  const PartitionPlan& plan() const { return plan_; }
+  const Placement& plan() const { return plan_; }
 
-  /// Neighbor read issued by worker `from`: local when `from` owns v, else
-  /// served by `from`'s neighbor cache, else a counted remote fetch from
-  /// the owner. All paths return the same data.
+  /// Neighbor read issued by worker `from`, resolved as of `epoch`
+  /// (kEpochCurrent = the latest published state). Serve order is cheapest
+  /// copy first: local when `from` owns v, then `from`'s replica copy, then
+  /// `from`'s neighbor cache, then a counted remote fetch from the serving
+  /// worker Placement::ServingWorker picks (the owner when v is
+  /// unreplicated). All paths return the same data for the same epoch.
   std::span<const Neighbor> GetNeighbors(WorkerId from, VertexId v,
-                                         CommStats* stats);
+                                         CommStats* stats,
+                                         uint64_t epoch = kEpochCurrent);
 
   /// Same, restricted to one edge type. Cache hits at type granularity are
   /// conservative: a cached vertex serves all its types.
   std::span<const Neighbor> GetNeighbors(WorkerId from, VertexId v,
-                                         EdgeType type, CommStats* stats);
+                                         EdgeType type, CommStats* stats,
+                                         uint64_t epoch = kEpochCurrent);
 
   /// Batched neighbor read issued by worker `from`: out->spans[i] is the
   /// adjacency of batch[i] (all types when `type` == kAllEdgeTypes). The
@@ -87,7 +114,8 @@ class Cluster {
   /// contacted worker counts one remote_batch — at most num_workers - 1
   /// per call. Returns the same bytes as per-vertex GetNeighbors.
   void GetNeighborsBatch(WorkerId from, std::span<const VertexId> batch,
-                         EdgeType type, BatchResult* out, CommStats* stats);
+                         EdgeType type, BatchResult* out, CommStats* stats,
+                         uint64_t epoch = kEpochCurrent);
 
   /// Fallible variants of the read paths, used when fault injection is
   /// active. The first attempt plus up to retry_policy().max_attempts - 1
@@ -99,11 +127,12 @@ class Cluster {
   /// installed these behave exactly like the infallible paths and always
   /// succeed. Exhausted retries return Unavailable; local and cache-served
   /// reads never fail (faults model the network, not local storage).
-  Result<std::span<const Neighbor>> TryGetNeighbors(WorkerId from, VertexId v,
-                                                    CommStats* stats);
-  Result<std::span<const Neighbor>> TryGetNeighbors(WorkerId from, VertexId v,
-                                                    EdgeType type,
-                                                    CommStats* stats);
+  Result<std::span<const Neighbor>> TryGetNeighbors(
+      WorkerId from, VertexId v, CommStats* stats,
+      uint64_t epoch = kEpochCurrent);
+  Result<std::span<const Neighbor>> TryGetNeighbors(
+      WorkerId from, VertexId v, EdgeType type, CommStats* stats,
+      uint64_t epoch = kEpochCurrent);
 
   /// Fallible batched read: each coalesced per-worker request is judged
   /// once (one fault decision per message, matching the real failure
@@ -112,7 +141,8 @@ class Cluster {
   /// Returns OK when every slot resolved, Unavailable when any failed.
   Status TryGetNeighborsBatch(WorkerId from, std::span<const VertexId> batch,
                               EdgeType type, BatchResult* out,
-                              CommStats* stats);
+                              CommStats* stats,
+                              uint64_t epoch = kEpochCurrent);
 
   /// Fallible attribute fetch: local attrs are free; remote attrs cost one
   /// (retryable) individual message. kNoAttr for vertices without attrs.
@@ -135,6 +165,36 @@ class Cluster {
   Status TryGetVertexAttrBatch(WorkerId from, std::span<const VertexId> batch,
                                std::vector<AttrId>* ids,
                                std::vector<uint8_t>* ok, CommStats* stats);
+
+  /// Applies a batch of edge inserts/removes concurrently with sampling
+  /// reads. The whole batch becomes visible atomically at one new epoch on
+  /// every server holding a copy of a touched vertex (primary and
+  /// replicas); readers pinned at older epochs keep seeing the old
+  /// adjacency. Versions no pinned reader can still reach are reclaimed
+  /// (reported via UpdateReport::versions_pruned). Out-of-range sources and
+  /// removes with no matching (dst, type) are skipped, not errors.
+  /// Concurrent ApplyUpdateBatch calls serialize on an internal mutex.
+  Status ApplyUpdateBatch(std::span<const EdgeUpdate> updates,
+                          UpdateReport* report = nullptr);
+
+  /// Registers a reader at the current epoch. Pass pin.epoch() as the
+  /// `epoch` argument of every read of a multi-read scope (a whole k-hop)
+  /// to make the scope see exactly one epoch. The pin also blocks
+  /// reclamation of the versions it can reach; spans returned for a pinned
+  /// epoch stay valid until the pin is released.
+  EpochPin PinEpoch() { return epochs_->Acquire(); }
+
+  /// Latest published epoch (0 = never updated).
+  uint64_t current_epoch() const { return epochs_->current(); }
+
+  /// True once any update batch has been applied.
+  bool versioned() const { return epochs_->versioned(); }
+
+  /// Per-worker count of reads this worker serviced (local + replica +
+  /// cache hits count for the reading worker; remote reads for the serving
+  /// worker). The measured form of PartitionStats::hot_server_share.
+  std::vector<uint64_t> ServedReadsSnapshot() const;
+  void ResetServedReads();
 
   /// Installs deterministic fault injection + the retry policy applied to
   /// the TryGet* read paths. An inactive config (all probabilities zero, no
@@ -182,6 +242,7 @@ class Cluster {
   /// consistent with any Snapshot::Delta over the same window.
   struct CommCounters {
     obs::Counter* local_reads = nullptr;
+    obs::Counter* replica_reads = nullptr;
     obs::Counter* cache_hits = nullptr;
     obs::Counter* remote_reads = nullptr;
     obs::Counter* remote_batches = nullptr;
@@ -205,7 +266,8 @@ class Cluster {
   /// per-worker request is judged by the retry loop first.
   Status GetNeighborsBatchImpl(WorkerId from, std::span<const VertexId> batch,
                                EdgeType type, BatchResult* out,
-                               CommStats* stats, bool fallible);
+                               CommStats* stats, bool fallible,
+                               uint64_t epoch);
 
   /// Shared implementation of the batched attribute read; `fallible` works
   /// as in GetNeighborsBatchImpl. Attribute payloads are scalar ids, so
@@ -215,14 +277,45 @@ class Cluster {
                                 std::vector<uint8_t>* ok, CommStats* stats,
                                 bool fallible);
 
+  /// Vertex -> epoch of its FIRST update. A cached entry (always pre-update
+  /// data, because dirty vertices are never admitted) is valid for a read
+  /// at epoch e iff e < first-update epoch; otherwise the cache is bypassed
+  /// and the stale entry invalidated on the reading thread.
+  using DirtyMap = std::unordered_map<VertexId, uint64_t>;
+  std::shared_ptr<const DirtyMap> dirty_snapshot() const;
+  /// True when the cache must be skipped for a read of v at epoch e (the
+  /// vertex was updated at or before e); also drops the stale entry.
+  /// Mutates the cache, so it runs on the reading worker's thread like all
+  /// other cache traffic.
+  bool BypassCache(NeighborCache* cache, VertexId v, uint64_t e);
+  /// Resolves the kEpochCurrent sentinel once per call so a whole batch
+  /// reads one epoch even unpinned. Cheap no-op on never-updated clusters.
+  uint64_t ResolveEpoch(uint64_t epoch) const {
+    if (epoch == kEpochCurrent && epochs_->versioned()) {
+      return epochs_->current();
+    }
+    return epoch;
+  }
+  void CountServed(WorkerId worker, uint64_t n = 1) {
+    served_reads_[worker].fetch_add(n, std::memory_order_relaxed);
+  }
+
   const AttributedGraph* graph_ = nullptr;
   CommCounters obs_;
-  PartitionPlan plan_;
+  Placement plan_;
   std::vector<std::unique_ptr<GraphServer>> servers_;
   std::unique_ptr<std::mutex> executor_mu_ = std::make_unique<std::mutex>();
   std::unique_ptr<BucketExecutor> executor_;
   std::unique_ptr<FaultInjector> injector_;
   RetryPolicy retry_policy_;
+  std::unique_ptr<EpochManager> epochs_ = std::make_unique<EpochManager>();
+  /// Serializes writers; readers never take it.
+  std::unique_ptr<std::mutex> update_mu_ = std::make_unique<std::mutex>();
+  /// Guards the dirty-map pointer swap only (copy-on-write contents).
+  std::unique_ptr<std::mutex> dirty_mu_ = std::make_unique<std::mutex>();
+  std::shared_ptr<const DirtyMap> dirty_;
+  /// One counter per worker (unique_ptr keeps Cluster movable).
+  std::unique_ptr<std::atomic<uint64_t>[]> served_reads_;
 };
 
 /// Serial comparator for Fig. 7: builds one global adjacency map taking a

@@ -9,6 +9,7 @@ namespace aligraph {
 void CommStats::Snapshot::ExportTo(obs::MetricsRegistry& registry,
                                    const std::string& prefix) const {
   registry.GetCounter(prefix + ".local_reads")->Add(local_reads);
+  registry.GetCounter(prefix + ".replica_reads")->Add(replica_reads);
   registry.GetCounter(prefix + ".cache_hits")->Add(cache_hits);
   registry.GetCounter(prefix + ".remote_reads")->Add(remote_reads);
   registry.GetCounter(prefix + ".remote_batches")->Add(remote_batches);
@@ -25,6 +26,7 @@ std::string CommStats::Snapshot::ToString() const {
   os << "local=" << local_reads << " cache=" << cache_hits
      << " remote=" << remote_reads << " remote_batches=" << remote_batches
      << " batched_remote=" << batched_remote_reads;
+  if (replica_reads != 0) os << " replica=" << replica_reads;
   if (faults_injected != 0 || retry_attempts != 0 || failed_reads != 0) {
     os << " faults=" << faults_injected << " retries=" << retry_attempts
        << " backoff_us=" << retry_backoff_us << " failed=" << failed_reads;

@@ -31,6 +31,10 @@ class MetricsRegistry;
 /// \brief Mutable access counters; thread-safe.
 struct CommStats {
   std::atomic<uint64_t> local_reads{0};    ///< served from the owning server
+  /// Served from a replica copy stored on the reading worker itself — local
+  /// cost, no network, but distinct from local_reads so replication's
+  /// contribution is visible.
+  std::atomic<uint64_t> replica_reads{0};
   std::atomic<uint64_t> cache_hits{0};     ///< served from a local cache copy
   std::atomic<uint64_t> remote_reads{0};   ///< required a cross-server fetch
   /// Coalesced cross-server requests: one per (call, destination worker).
@@ -54,6 +58,7 @@ struct CommStats {
   /// before/after deltas. CommStats itself is non-copyable (atomics).
   struct Snapshot {
     uint64_t local_reads = 0;
+    uint64_t replica_reads = 0;
     uint64_t cache_hits = 0;
     uint64_t remote_reads = 0;
     uint64_t remote_batches = 0;
@@ -68,6 +73,7 @@ struct CommStats {
     Snapshot Delta(const Snapshot& earlier) const {
       Snapshot d;
       d.local_reads = local_reads - earlier.local_reads;
+      d.replica_reads = replica_reads - earlier.replica_reads;
       d.cache_hits = cache_hits - earlier.cache_hits;
       d.remote_reads = remote_reads - earlier.remote_reads;
       d.remote_batches = remote_batches - earlier.remote_batches;
@@ -81,7 +87,7 @@ struct CommStats {
     }
 
     uint64_t TotalReads() const {
-      return local_reads + cache_hits + remote_reads;
+      return local_reads + replica_reads + cache_hits + remote_reads;
     }
 
     /// Adds every field into `registry` as a counter named
@@ -96,6 +102,7 @@ struct CommStats {
   Snapshot snapshot() const {
     Snapshot s;
     s.local_reads = local_reads.load();
+    s.replica_reads = replica_reads.load();
     s.cache_hits = cache_hits.load();
     s.remote_reads = remote_reads.load();
     s.remote_batches = remote_batches.load();
@@ -109,6 +116,7 @@ struct CommStats {
 
   void Reset() {
     local_reads = 0;
+    replica_reads = 0;
     cache_hits = 0;
     remote_reads = 0;
     remote_batches = 0;
@@ -120,7 +128,8 @@ struct CommStats {
   }
 
   uint64_t TotalReads() const {
-    return local_reads.load() + cache_hits.load() + remote_reads.load();
+    return local_reads.load() + replica_reads.load() + cache_hits.load() +
+           remote_reads.load();
   }
 
   std::string ToString() const;
@@ -151,7 +160,7 @@ struct CommModel {
   /// benches under fault injection reflect what the faults cost.
   double ModeledMillis(const CommStats::Snapshot& s) const {
     const double local =
-        static_cast<double>(s.local_reads + s.cache_hits);
+        static_cast<double>(s.local_reads + s.replica_reads + s.cache_hits);
     // Individually-issued remote reads are one message each; coalesced
     // reads share their batch's message. Retries re-send their message;
     // failed requests paid their first message without yielding a read.

@@ -21,12 +21,23 @@ void GraphServer::AddEdge(VertexId src, EdgeType type,
   ++num_edges_;
 }
 
-void GraphServer::Finalize() {
+void GraphServer::AddReplicaVertex(VertexId v, AttrId attr) {
   ALIGRAPH_CHECK(!finalized_);
-  finalized_ = true;
-  for (auto& [v, edges] : staging_) {
+  replica_adj_.try_emplace(v).first->second.attr = attr;
+}
+
+void GraphServer::AddReplicaEdge(VertexId src, EdgeType type,
+                                 const Neighbor& neighbor) {
+  ALIGRAPH_CHECK(!finalized_);
+  replica_adj_.try_emplace(src);
+  replica_staging_[src].emplace_back(type, neighbor);
+}
+
+void GraphServer::CompactInto(Staging& staging,
+                              std::unordered_map<VertexId, Adj>& out) {
+  for (auto& [v, edges] : staging) {
     // Counting sort by type keeps Finalize O(m) per server.
-    Adj& a = adj_[v];
+    Adj& a = out[v];
     a.type_offsets.assign(num_edge_types_ + 1, 0);
     for (const auto& [t, nb] : edges) ++a.type_offsets[t + 1];
     for (size_t t = 1; t <= num_edge_types_; ++t) {
@@ -37,38 +48,108 @@ void GraphServer::Finalize() {
                                  a.type_offsets.end() - 1);
     for (const auto& [t, nb] : edges) a.neighbors[cursor[t]++] = nb;
   }
-  staging_.clear();
+  staging.clear();
 }
 
-std::span<const Neighbor> GraphServer::Neighbors(VertexId v) const {
-  ALIGRAPH_CHECK(finalized_);
-  auto it = adj_.find(v);
-  if (it == adj_.end()) return {};
-  return it->second.neighbors;
+void GraphServer::Finalize() {
+  ALIGRAPH_CHECK(!finalized_);
+  finalized_ = true;
+  CompactInto(staging_, adj_);
+  CompactInto(replica_staging_, replica_adj_);
 }
 
-std::span<const Neighbor> GraphServer::Neighbors(VertexId v,
-                                                 EdgeType type) const {
-  ALIGRAPH_CHECK(finalized_);
+const GraphServer::Adj* GraphServer::FindBase(VertexId v) const {
   auto it = adj_.find(v);
-  if (it == adj_.end() || it->second.type_offsets.empty()) return {};
-  const Adj& a = it->second;
-  return {a.neighbors.data() + a.type_offsets[type],
-          static_cast<size_t>(a.type_offsets[type + 1] -
-                              a.type_offsets[type])};
+  if (it != adj_.end()) return &it->second;
+  auto rit = replica_adj_.find(v);
+  if (rit != replica_adj_.end()) return &rit->second;
+  return nullptr;
+}
+
+const AdjVersion* GraphServer::ResolveVersion(VertexId v,
+                                              uint64_t epoch) const {
+  if (!has_delta_.load(std::memory_order_relaxed)) return nullptr;
+  std::shared_ptr<const DeltaTable> table;
+  {
+    std::lock_guard<std::mutex> lock(delta_mu_);
+    table = delta_;
+  }
+  if (table == nullptr) return nullptr;
+  auto it = table->find(v);
+  if (it == table->end()) return nullptr;
+  // Chains are short (one entry per surviving epoch of this vertex) and
+  // ascending: scan backwards for the newest version at or below epoch.
+  const std::vector<AdjVersionPtr>& chain = it->second;
+  for (auto rit = chain.rbegin(); rit != chain.rend(); ++rit) {
+    if ((*rit)->epoch <= epoch) return rit->get();
+  }
+  return nullptr;
+}
+
+std::span<const Neighbor> GraphServer::NeighborsAt(VertexId v,
+                                                   uint64_t epoch) const {
+  ALIGRAPH_CHECK(finalized_);
+  if (const AdjVersion* ver = ResolveVersion(v, epoch)) {
+    return ver->neighbors;
+  }
+  const Adj* a = FindBase(v);
+  if (a == nullptr) return {};
+  return a->neighbors;
+}
+
+std::span<const Neighbor> GraphServer::NeighborsAt(VertexId v, EdgeType type,
+                                                   uint64_t epoch) const {
+  ALIGRAPH_CHECK(finalized_);
+  if (const AdjVersion* ver = ResolveVersion(v, epoch)) {
+    if (ver->type_offsets.empty()) return {};
+    return {ver->neighbors.data() + ver->type_offsets[type],
+            static_cast<size_t>(ver->type_offsets[type + 1] -
+                                ver->type_offsets[type])};
+  }
+  const Adj* a = FindBase(v);
+  if (a == nullptr || a->type_offsets.empty()) return {};
+  return {a->neighbors.data() + a->type_offsets[type],
+          static_cast<size_t>(a->type_offsets[type + 1] -
+                              a->type_offsets[type])};
 }
 
 AttrId GraphServer::VertexAttr(VertexId v) const {
-  auto it = adj_.find(v);
-  return it == adj_.end() ? kNoAttr : it->second.attr;
+  const Adj* a = FindBase(v);
+  return a == nullptr ? kNoAttr : a->attr;
+}
+
+std::shared_ptr<const DeltaTable> GraphServer::delta_snapshot() const {
+  if (!has_delta_.load(std::memory_order_relaxed)) return nullptr;
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  return delta_;
+}
+
+void GraphServer::PublishDelta(std::shared_ptr<const DeltaTable> table) {
+  std::lock_guard<std::mutex> lock(delta_mu_);
+  delta_ = std::move(table);
+  has_delta_.store(delta_ != nullptr, std::memory_order_relaxed);
 }
 
 size_t GraphServer::MemoryBytes() const {
   size_t bytes = 0;
-  for (const auto& [v, a] : adj_) {
-    bytes += a.neighbors.size() * sizeof(Neighbor) +
-             a.type_offsets.size() * sizeof(uint32_t) + sizeof(VertexId) +
-             sizeof(AttrId);
+  auto add = [&bytes](const std::unordered_map<VertexId, Adj>& m) {
+    for (const auto& [v, a] : m) {
+      bytes += a.neighbors.size() * sizeof(Neighbor) +
+               a.type_offsets.size() * sizeof(uint32_t) + sizeof(VertexId) +
+               sizeof(AttrId);
+    }
+  };
+  add(adj_);
+  add(replica_adj_);
+  if (auto table = delta_snapshot()) {
+    for (const auto& [v, chain] : *table) {
+      bytes += sizeof(VertexId);
+      for (const AdjVersionPtr& ver : chain) {
+        bytes += ver->neighbors.size() * sizeof(Neighbor) +
+                 ver->type_offsets.size() * sizeof(uint32_t) +
+                 sizeof(AdjVersion);
+      }
+    }
   }
   return bytes;
 }

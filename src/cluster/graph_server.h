@@ -3,26 +3,56 @@
 /// subgraph stored as per-vertex, type-segmented adjacency lists plus an
 /// optional neighbor cache and an LRU attribute cache (the paper's IV/IE
 /// front caches).
-
+///
+/// Two extensions over the plain owned store:
+///   - **Replica storage.** A server may additionally hold full adjacency
+///     copies of hub vertices owned elsewhere (Placement replica sets);
+///     replica reads are served at local cost.
+///   - **Epoch-versioned deltas.** Online updates never mutate the finalized
+///     base adjacency. Instead the cluster's update path publishes an
+///     immutable delta table mapping vertex -> ascending chain of adjacency
+///     versions; `NeighborsAt(v, epoch)` resolves to the newest version at
+///     or below the epoch, falling back to the base (owned, then replica)
+///     lists. Published version payloads are immutable and retained until
+///     no pinned reader can reach them (see epoch.h), so spans returned to
+///     a pinned reader stay valid for the pin's lifetime.
 #ifndef ALIGRAPH_CLUSTER_GRAPH_SERVER_H_
 #define ALIGRAPH_CLUSTER_GRAPH_SERVER_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "cluster/epoch.h"
 #include "common/lru_cache.h"
 #include "graph/graph.h"
 #include "storage/neighbor_cache.h"
 
 namespace aligraph {
 
-/// \brief Per-server local storage of the vertices it owns.
+/// \brief One immutable adjacency snapshot of one vertex at one epoch,
+/// type-segmented exactly like the base storage.
+struct AdjVersion {
+  uint64_t epoch = 0;
+  std::vector<Neighbor> neighbors;     // segmented by type
+  std::vector<uint32_t> type_offsets;  // size num_edge_types + 1
+};
+using AdjVersionPtr = std::shared_ptr<const AdjVersion>;
+
+/// Vertex -> ascending-epoch chain of published versions. Tables are
+/// immutable once published; the updater copies-on-write.
+using DeltaTable =
+    std::unordered_map<VertexId, std::vector<AdjVersionPtr>>;
+
+/// \brief Per-server local storage of the vertices it owns (and replicates).
 ///
-/// Adjacency for each owned vertex is one contiguous vector segmented by
+/// Adjacency for each stored vertex is one contiguous vector segmented by
 /// edge type, so both "all neighbors" and "neighbors of type t" are O(1)
-/// span views. Construction: AddEdge calls followed by one Finalize.
+/// span views. Construction: AddEdge/AddReplicaEdge calls followed by one
+/// Finalize.
 class GraphServer {
  public:
   GraphServer(WorkerId id, size_t num_edge_types)
@@ -36,24 +66,57 @@ class GraphServer {
   /// Buffers one out-edge of an owned vertex.
   void AddEdge(VertexId src, EdgeType type, const Neighbor& neighbor);
 
+  /// Registers a replica copy of a vertex owned by another worker.
+  void AddReplicaVertex(VertexId v, AttrId attr);
+
+  /// Buffers one out-edge of a replicated vertex.
+  void AddReplicaEdge(VertexId src, EdgeType type, const Neighbor& neighbor);
+
   /// Compacts buffered edges into type-segmented adjacency. Must be called
   /// exactly once, after which AddEdge is illegal.
   void Finalize();
 
   bool Owns(VertexId v) const { return adj_.count(v) > 0; }
+  /// True when this server holds a replica copy of v (not the primary).
+  bool HasReplica(VertexId v) const { return replica_adj_.count(v) > 0; }
+  /// True when any copy (owned or replica) of v lives here.
+  bool ServesCopy(VertexId v) const { return Owns(v) || HasReplica(v); }
+
   size_t num_vertices() const { return adj_.size(); }
+  size_t num_replicas() const { return replica_adj_.size(); }
   size_t num_edges() const { return num_edges_; }
 
-  /// All out-neighbors of an owned vertex.
-  std::span<const Neighbor> Neighbors(VertexId v) const;
-  /// Out-neighbors of an owned vertex restricted to one edge type.
-  std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) const;
+  /// All out-neighbors of a stored vertex at the latest epoch.
+  std::span<const Neighbor> Neighbors(VertexId v) const {
+    return NeighborsAt(v, kEpochCurrent);
+  }
+  /// Out-neighbors restricted to one edge type, latest epoch.
+  std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) const {
+    return NeighborsAt(v, type, kEpochCurrent);
+  }
 
-  /// Attribute id of an owned vertex (kNoAttr when absent).
+  /// All out-neighbors of a stored vertex as of `epoch`: the newest
+  /// published version with version.epoch <= epoch, else the base list
+  /// (owned first, then replica). kEpochCurrent resolves to the newest.
+  std::span<const Neighbor> NeighborsAt(VertexId v, uint64_t epoch) const;
+  /// Typed variant of NeighborsAt.
+  std::span<const Neighbor> NeighborsAt(VertexId v, EdgeType type,
+                                        uint64_t epoch) const;
+
+  /// Attribute id of a stored vertex (kNoAttr when absent). Attributes are
+  /// immutable under online updates.
   AttrId VertexAttr(VertexId v) const;
 
   /// The vertices this server owns, in insertion order.
   const std::vector<VertexId>& owned_vertices() const { return owned_; }
+
+  /// Current delta table (null until the first PublishDelta).
+  std::shared_ptr<const DeltaTable> delta_snapshot() const;
+
+  /// Atomically replaces the delta table. Called by the cluster's update
+  /// path with a fully built immutable table; readers see either the old or
+  /// the new table, never a partial one.
+  void PublishDelta(std::shared_ptr<const DeltaTable> table);
 
   /// Installs / accesses the server-local neighbor cache (may be null).
   void set_neighbor_cache(std::unique_ptr<NeighborCache> cache) {
@@ -61,7 +124,8 @@ class GraphServer {
   }
   NeighborCache* neighbor_cache() const { return neighbor_cache_.get(); }
 
-  /// Approximate resident bytes of the adjacency storage.
+  /// Approximate resident bytes of the adjacency storage (owned + replica +
+  /// published deltas).
   size_t MemoryBytes() const;
 
  private:
@@ -70,6 +134,14 @@ class GraphServer {
     std::vector<uint32_t> type_offsets;    // size num_edge_types + 1
     AttrId attr = kNoAttr;
   };
+  using Staging =
+      std::unordered_map<VertexId, std::vector<std::pair<EdgeType, Neighbor>>>;
+
+  void CompactInto(Staging& staging, std::unordered_map<VertexId, Adj>& out);
+  const Adj* FindBase(VertexId v) const;
+  /// Newest version of v at or below epoch, or null. The returned pointer's
+  /// payload outlives the call per the retention contract above.
+  const AdjVersion* ResolveVersion(VertexId v, uint64_t epoch) const;
 
   WorkerId id_;
   size_t num_edge_types_;
@@ -77,10 +149,17 @@ class GraphServer {
   size_t num_edges_ = 0;
   std::vector<VertexId> owned_;
   std::unordered_map<VertexId, Adj> adj_;
+  std::unordered_map<VertexId, Adj> replica_adj_;
   // Build-time staging: per-vertex edges tagged with their type.
-  std::unordered_map<VertexId, std::vector<std::pair<EdgeType, Neighbor>>>
-      staging_;
+  Staging staging_;
+  Staging replica_staging_;
   std::unique_ptr<NeighborCache> neighbor_cache_;
+
+  // Published updates. has_delta_ is the hot-path probe that keeps the
+  // never-updated case lock-free; the mutex only guards the pointer swap.
+  mutable std::mutex delta_mu_;
+  std::shared_ptr<const DeltaTable> delta_;
+  std::atomic<bool> has_delta_{false};
 };
 
 }  // namespace aligraph

@@ -73,6 +73,20 @@ class LruCache {
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
   }
 
+  /// Drops key if present, invoking the eviction callback (the entry leaves
+  /// the cache, just not under capacity pressure — the eviction counter is
+  /// untouched). Returns true when the key was held.
+  bool Erase(const K& key) {
+    auto it = index_.find(key);
+    if (it == index_.end()) return false;
+    if (eviction_callback_) {
+      eviction_callback_(it->second->first, it->second->second);
+    }
+    order_.erase(it->second);
+    index_.erase(it);
+    return true;
+  }
+
   void Clear() {
     order_.clear();
     index_.clear();

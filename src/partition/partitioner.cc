@@ -10,27 +10,46 @@
 
 namespace aligraph {
 
+WorkerId Placement::ServingWorker(VertexId v, WorkerId from) const {
+  if (vertex_owner[v] == from) return from;
+  auto it = replicas.find(v);
+  if (it == replicas.end()) return vertex_owner[v];
+  const std::vector<WorkerId>& extra = it->second;
+  for (const WorkerId r : extra) {
+    if (r == from) return from;
+  }
+  // Remote read of a replicated vertex: spread deterministically over all
+  // copies (primary + replicas) keyed by (v, from) so distinct readers fan
+  // out while any single reader stays stable across retries.
+  const size_t copies = extra.size() + 1;
+  const size_t idx = static_cast<size_t>(
+      Mix64(static_cast<uint64_t>(v) ^ (static_cast<uint64_t>(from) << 32)) %
+      copies);
+  return idx == 0 ? vertex_owner[v] : extra[idx - 1];
+}
+
 std::string PartitionStats::ToString() const {
   std::ostringstream os;
   os << "cut=" << edge_cut_fraction << " vbal=" << vertex_balance
-     << " ebal=" << edge_balance;
+     << " ebal=" << edge_balance << " repl=" << replication_factor
+     << " hot=" << hot_server_share;
   return os.str();
 }
 
 PartitionStats ComputePartitionStats(const AttributedGraph& graph,
-                                     const PartitionPlan& plan) {
+                                     const Placement& placement) {
   PartitionStats stats;
   const VertexId n = graph.num_vertices();
-  const uint32_t p = plan.num_workers;
+  const uint32_t p = placement.num_workers;
   std::vector<size_t> vcount(p, 0), ecount(p, 0);
   size_t crossing = 0, total = 0;
   for (VertexId v = 0; v < n; ++v) {
-    const WorkerId w = plan.OwnerOf(v);
+    const WorkerId w = placement.OwnerOf(v);
     ++vcount[w];
     for (const Neighbor& nb : graph.OutNeighbors(v)) {
       ++ecount[w];
       ++total;
-      if (plan.OwnerOf(nb.dst) != w) ++crossing;
+      if (placement.OwnerOf(nb.dst) != w) ++crossing;
     }
   }
   stats.edge_cut_fraction =
@@ -44,6 +63,28 @@ PartitionStats ComputePartitionStats(const AttributedGraph& graph,
   }
   stats.vertex_balance = vavg > 0 ? vmax / vavg : 0;
   stats.edge_balance = eavg > 0 ? emax / eavg : 0;
+  stats.replication_factor = placement.ReplicationFactor();
+
+  // Modeled serviced-traffic distribution: each vertex v attracts
+  // in-degree-proportional read traffic (hubs are read in proportion to how
+  // many adjacency lists mention them; +1 keeps isolated vertices warm),
+  // issued uniformly from every worker and routed by ServingWorker. The
+  // busiest worker's share is the hot-server metric replication targets.
+  std::vector<double> served(p, 0.0);
+  double traffic_total = 0.0;
+  for (VertexId v = 0; v < n; ++v) {
+    const double traffic = static_cast<double>(graph.InDegree(v)) + 1.0;
+    traffic_total += traffic;
+    const double per_reader = traffic / static_cast<double>(p);
+    for (uint32_t from = 0; from < p; ++from) {
+      served[placement.ServingWorker(v, static_cast<WorkerId>(from))] +=
+          per_reader;
+    }
+  }
+  double served_max = 0.0;
+  for (uint32_t w = 0; w < p; ++w) served_max = std::max(served_max, served[w]);
+  stats.hot_server_share =
+      traffic_total > 0 ? served_max / traffic_total : 0.0;
   return stats;
 }
 
@@ -215,13 +256,93 @@ Result<PartitionPlan> StreamingPartitioner::Partition(
   return plan;
 }
 
+HybridSkewPartitioner::HybridSkewPartitioner(Options options)
+    : options_(std::move(options)) {}
+
+Result<Placement> HybridSkewPartitioner::Partition(const AttributedGraph& graph,
+                                                   uint32_t num_workers) const {
+  if (num_workers == 0) return Status::InvalidArgument("num_workers == 0");
+  if (options_.tail == "hybrid") {
+    return Status::InvalidArgument("hybrid tail partitioner cannot be hybrid");
+  }
+  ALIGRAPH_ASSIGN_OR_RETURN(auto tail, MakePartitioner(options_.tail));
+  ALIGRAPH_ASSIGN_OR_RETURN(Placement placement,
+                            tail->Partition(graph, num_workers));
+  if (num_workers == 1) return placement;  // nothing to replicate onto
+
+  const VertexId n = graph.num_vertices();
+  size_t threshold = options_.degree_threshold;
+  if (threshold == 0) {
+    // Derive: replicate at most the top hub_fraction of vertices by
+    // out-degree, and only vertices strictly above the mean degree — a
+    // uniform-degree graph has no hubs and stays replica-free.
+    size_t total_deg = 0;
+    std::vector<size_t> degrees(n);
+    for (VertexId v = 0; v < n; ++v) {
+      degrees[v] = graph.OutDegree(v);
+      total_deg += degrees[v];
+    }
+    const size_t hubs = static_cast<size_t>(
+        static_cast<double>(n) * std::clamp(options_.hub_fraction, 0.0, 1.0));
+    if (hubs == 0 || n == 0) return placement;
+    std::nth_element(degrees.begin(), degrees.end() - hubs, degrees.end());
+    const size_t top_cut = degrees[n - hubs];
+    const double mean = static_cast<double>(total_deg) / std::max<VertexId>(n, 1);
+    threshold = std::max<size_t>(top_cut, static_cast<size_t>(mean) + 1);
+    if (threshold == 0) threshold = 1;
+  }
+
+  const uint32_t copies =
+      options_.replicas == 0
+          ? num_workers
+          : std::min<uint32_t>(std::max<uint32_t>(options_.replicas, 1),
+                               num_workers);
+  if (copies <= 1) return placement;
+
+  for (VertexId v = 0; v < n; ++v) {
+    if (graph.OutDegree(v) < threshold) continue;
+    const WorkerId owner = placement.vertex_owner[v];
+    std::vector<WorkerId> extra;
+    extra.reserve(copies - 1);
+    if (copies == num_workers) {
+      for (uint32_t w = 0; w < num_workers; ++w) {
+        if (w != owner) extra.push_back(static_cast<WorkerId>(w));
+      }
+    } else {
+      // Deterministic spread: walk workers from a hash-derived start so hub
+      // replicas don't all pile onto the same k workers.
+      const uint32_t start = static_cast<uint32_t>(Mix64(v) % num_workers);
+      for (uint32_t i = 0; i < num_workers && extra.size() < copies - 1; ++i) {
+        const WorkerId w = static_cast<WorkerId>((start + i) % num_workers);
+        if (w != owner) extra.push_back(w);
+      }
+      std::sort(extra.begin(), extra.end());
+    }
+    placement.replicas.emplace(v, std::move(extra));
+  }
+  return placement;
+}
+
+const std::vector<std::string>& KnownPartitionerNames() {
+  static const std::vector<std::string> names = {
+      "edge_cut", "grid2d", "hybrid", "metis", "streaming", "vertex_cut"};
+  return names;
+}
+
 Result<std::unique_ptr<Partitioner>> MakePartitioner(const std::string& name) {
   if (name == "edge_cut") return std::unique_ptr<Partitioner>(new EdgeCutPartitioner());
   if (name == "vertex_cut") return std::unique_ptr<Partitioner>(new VertexCutPartitioner());
   if (name == "grid2d") return std::unique_ptr<Partitioner>(new Grid2DPartitioner());
   if (name == "streaming") return std::unique_ptr<Partitioner>(new StreamingPartitioner());
   if (name == "metis") return std::unique_ptr<Partitioner>(new MetisPartitioner());
-  return Status::NotFound("unknown partitioner: " + name);
+  if (name == "hybrid") return std::unique_ptr<Partitioner>(new HybridSkewPartitioner());
+  std::string valid;
+  for (const std::string& known : KnownPartitionerNames()) {
+    if (!valid.empty()) valid += ", ";
+    valid += known;
+  }
+  return Status::NotFound("unknown partitioner: " + name +
+                          " (valid: " + valid + ")");
 }
 
 }  // namespace aligraph

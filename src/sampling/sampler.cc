@@ -231,6 +231,13 @@ NeighborhoodSample NeighborhoodSampler::DrawHops(
     NeighborSource& source, std::span<const VertexId> roots, EdgeType type,
     std::span<const uint32_t> hop_nums, ThreadPool* pool) {
   obs::ScopedSpan whole("sample/neighborhood");
+  // Pin the source for the whole k-hop: concurrent update batches become
+  // visible between hops of two samples, never inside one.
+  struct EpochScope {
+    NeighborSource& src;
+    explicit EpochScope(NeighborSource& s) : src(s) { s.PinEpoch(); }
+    ~EpochScope() { src.UnpinEpoch(); }
+  } epoch_scope(source);
   // Per-hop instrumentation: latency histogram plus frontier / fan-out
   // size distributions. Handles are cached across Sample calls; all null
   // (and skipped) when observability is detached.

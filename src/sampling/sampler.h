@@ -68,6 +68,14 @@ class NeighborSource {
   /// sources, keeping the infallible hot path byte-identical.
   virtual bool fallible() const { return false; }
 
+  /// Pins the backing store at its current epoch for a multi-read scope:
+  /// every read until UnpinEpoch resolves against that one epoch, so a
+  /// whole k-hop can never observe a mix of two epochs even while update
+  /// batches land concurrently. No-ops for immutable sources. The sampler
+  /// brackets each DrawHops with this pair.
+  virtual void PinEpoch() {}
+  virtual void UnpinEpoch() {}
+
   /// Fallible batched read: like NeighborsBatch but slots whose read
   /// exhausted its retry budget get out->ok[i] = 0 (span left empty) and
   /// the call returns Unavailable. Infallible sources (the default) always
@@ -138,14 +146,14 @@ class DistributedNeighborSource : public NeighborSource {
                             CommStats* stats)
       : cluster_(cluster), worker_(worker), stats_(stats) {}
   std::span<const Neighbor> Neighbors(VertexId v) override {
-    return cluster_.GetNeighbors(worker_, v, stats_);
+    return cluster_.GetNeighbors(worker_, v, stats_, epoch_);
   }
   std::span<const Neighbor> Neighbors(VertexId v, EdgeType type) override {
-    return cluster_.GetNeighbors(worker_, v, type, stats_);
+    return cluster_.GetNeighbors(worker_, v, type, stats_, epoch_);
   }
   void NeighborsBatch(std::span<const VertexId> vertices, EdgeType type,
                       BatchResult* out) override {
-    cluster_.GetNeighborsBatch(worker_, vertices, type, out, stats_);
+    cluster_.GetNeighborsBatch(worker_, vertices, type, out, stats_, epoch_);
   }
 
   bool fallible() const override {
@@ -154,14 +162,31 @@ class DistributedNeighborSource : public NeighborSource {
 
   Status NeighborsBatchChecked(std::span<const VertexId> vertices,
                                EdgeType type, BatchResult* out) override {
-    return cluster_.TryGetNeighborsBatch(worker_, vertices, type, out,
-                                         stats_);
+    return cluster_.TryGetNeighborsBatch(worker_, vertices, type, out, stats_,
+                                         epoch_);
   }
+
+  /// Registers this reader with the cluster's epoch manager; the pin both
+  /// freezes the resolve epoch and blocks reclamation of the versions the
+  /// scope may still read.
+  void PinEpoch() override {
+    pin_ = cluster_.PinEpoch();
+    epoch_ = pin_.epoch();
+  }
+  void UnpinEpoch() override {
+    pin_.Release();
+    epoch_ = kEpochCurrent;
+  }
+
+  /// Epoch reads currently resolve against (kEpochCurrent when unpinned).
+  uint64_t read_epoch() const { return epoch_; }
 
  private:
   Cluster& cluster_;
   WorkerId worker_;
   CommStats* stats_;
+  EpochPin pin_;
+  uint64_t epoch_ = kEpochCurrent;
 };
 
 /// \brief Ablation / comparison adapter: forwards per-vertex reads to an

@@ -21,6 +21,13 @@ std::optional<std::span<const Neighbor>> StaticNeighborCache::Lookup(
   return std::span<const Neighbor>(it->second);
 }
 
+void StaticNeighborCache::Invalidate(VertexId v) {
+  auto it = pinned_.find(v);
+  if (it == pinned_.end()) return;
+  entries_ -= it->second.size();
+  pinned_.erase(it);
+}
+
 std::optional<std::span<const Neighbor>> LruNeighborCache::Lookup(VertexId v) {
   auto hit = cache_.Get(v);
   if (!hit.has_value()) return std::nullopt;
@@ -43,6 +50,12 @@ void LruNeighborCache::OnRemoteFetch(VertexId v,
         });
   }
   cache_.Put(v, std::move(entry));
+}
+
+void LruNeighborCache::Invalidate(VertexId v) {
+  // Erase runs the eviction callback, which keeps entries_ exact. The last_
+  // pin (if it holds this entry) keeps previously returned spans valid.
+  cache_.Erase(v);
 }
 
 }  // namespace aligraph

@@ -36,6 +36,11 @@ class NeighborCache {
   virtual void OnRemoteFetch(VertexId v,
                              std::span<const Neighbor> neighbors) = 0;
 
+  /// Drops v's entry if cached. Called by the cluster when an online update
+  /// makes the cached copy stale for the reader's epoch; like every other
+  /// cache call it runs on the owning worker's reading thread.
+  virtual void Invalidate(VertexId v) {}
+
   /// Number of vertices currently cached.
   virtual size_t size() const = 0;
   /// Total cached Neighbor entries (storage cost).
@@ -54,6 +59,7 @@ class StaticNeighborCache : public NeighborCache {
   std::optional<std::span<const Neighbor>> Lookup(VertexId v) override;
   void OnRemoteFetch(VertexId v,
                      std::span<const Neighbor> neighbors) override {}
+  void Invalidate(VertexId v) override;
   size_t size() const override { return pinned_.size(); }
   size_t entry_count() const override { return entries_; }
 
@@ -73,6 +79,7 @@ class LruNeighborCache : public NeighborCache {
   std::string name() const override { return "lru"; }
   std::optional<std::span<const Neighbor>> Lookup(VertexId v) override;
   void OnRemoteFetch(VertexId v, std::span<const Neighbor> neighbors) override;
+  void Invalidate(VertexId v) override;
   size_t size() const override { return cache_.size(); }
   size_t entry_count() const override { return entries_; }
 

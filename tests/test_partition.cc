@@ -102,10 +102,77 @@ TEST_P(PartitionerParamTest, DeterministicAcrossRuns) {
 
 INSTANTIATE_TEST_SUITE_P(AllPartitioners, PartitionerParamTest,
                          ::testing::Values("edge_cut", "vertex_cut", "grid2d",
-                                           "streaming", "metis"));
+                                           "streaming", "metis", "hybrid"));
 
 TEST(PartitionerFactoryTest, UnknownNameFails) {
   EXPECT_FALSE(MakePartitioner("nope").ok());
+}
+
+TEST(PartitionerFactoryTest, UnknownNameErrorListsEveryValidName) {
+  auto result = MakePartitioner("nope");
+  ASSERT_FALSE(result.ok());
+  const std::string msg = result.status().ToString();
+  for (const std::string& name : KnownPartitionerNames()) {
+    EXPECT_NE(msg.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(HybridSkewPartitionerTest, ReplicatesHubsOnSkewedGraph) {
+  // Undirected, so the replicated hubs (chosen by out-degree) are the same
+  // vertices the in-degree-proportional traffic model hammers.
+  gen::ChungLuConfig cfg;
+  cfg.num_vertices = 2000;
+  cfg.avg_degree = 8;
+  cfg.gamma = 2.1;
+  cfg.directed = false;
+  cfg.seed = 5;
+  const AttributedGraph g = std::move(gen::ChungLu(cfg)).value();
+  auto plan = std::move(HybridSkewPartitioner().Partition(g, 4)).value();
+  EXPECT_TRUE(plan.HasReplicas());
+  const PartitionStats stats = ComputePartitionStats(g, plan);
+  EXPECT_GT(stats.replication_factor, 1.0);
+  EXPECT_LE(stats.replication_factor, 4.0);
+  // Spreading hub reads over replicas flattens the modeled hot server.
+  auto tail = std::move(EdgeCutPartitioner().Partition(g, 4)).value();
+  const PartitionStats tail_stats = ComputePartitionStats(g, tail);
+  EXPECT_LT(stats.hot_server_share, tail_stats.hot_server_share);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(HybridSkewPartitionerTest, RejectsHybridTail) {
+  HybridSkewPartitioner::Options opts;
+  opts.tail = "hybrid";
+  const AttributedGraph g = MakeTestGraph();
+  EXPECT_FALSE(HybridSkewPartitioner(opts).Partition(g, 4).ok());
+}
+
+// Properties of replica routing: the serving worker is always a holder of a
+// copy (owner or replica), readers holding a copy serve themselves, and
+// routing is deterministic.
+ALIGRAPH_PROP(PlacementProps, ServingWorkerAlwaysHoldsACopy, 8) {
+  const AttributedGraph g = proptest::RandomGraph(ctx);
+  const uint32_t workers = proptest::RandomWorkers(ctx);
+  auto plan =
+      std::move(HybridSkewPartitioner().Partition(g, workers)).value();
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto replicas = plan.ReplicasOf(v);
+    for (WorkerId from = 0; from < workers; ++from) {
+      const WorkerId serving = plan.ServingWorker(v, from);
+      ASSERT_LT(serving, workers);
+      ASSERT_EQ(serving, plan.ServingWorker(v, from));  // deterministic
+      if (plan.ServesLocally(v, from)) {
+        ASSERT_EQ(serving, from);
+      } else if (replicas.empty()) {
+        ASSERT_EQ(serving, plan.OwnerOf(v));
+      } else {
+        const bool holder =
+            serving == plan.OwnerOf(v) ||
+            std::find(replicas.begin(), replicas.end(), serving) !=
+                replicas.end();
+        ASSERT_TRUE(holder);
+      }
+    }
+  }
 }
 
 TEST(MetisPartitionerTest, BeatsHashOnCommunityGraph) {
@@ -166,7 +233,7 @@ ALIGRAPH_PROP(PartitionerProps, OwnershipTotalAndEdgesConserved, 8) {
   const AttributedGraph g = proptest::RandomGraph(ctx);
   const uint32_t workers = proptest::RandomWorkers(ctx);
   for (const char* name :
-       {"edge_cut", "vertex_cut", "grid2d", "streaming", "metis"}) {
+       {"edge_cut", "vertex_cut", "grid2d", "streaming", "metis", "hybrid"}) {
     auto p = std::move(MakePartitioner(name)).value();
     auto plan = p->Partition(g, workers);
     ASSERT_TRUE(plan.ok()) << name;
