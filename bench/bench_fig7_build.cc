@@ -105,6 +105,10 @@ void RunSkewSweep(bench::ObsBench& obs, const bench::BenchArgs& args) {
   double hot_share_hybrid = 0;
   double max_served_edge_cut = 0;
   double max_served_hybrid = 0;
+  // Per-worker served-read rows, collected during the sweep but emitted as
+  // a report table only after the skew_sweep table is complete (AddRow
+  // appends to the last table added).
+  std::vector<std::vector<std::string>> served_rows;
   for (const char* name : {"edge_cut", "vertex_cut", "hybrid"}) {
     auto partitioner = std::move(MakePartitioner(name)).value();
     ClusterBuildReport report;
@@ -136,6 +140,14 @@ void RunSkewSweep(bench::ObsBench& obs, const bench::BenchArgs& args) {
         std::accumulate(served.begin(), served.end(), uint64_t{0});
     const double mean_served =
         static_cast<double>(total_served) / served.size();
+    for (size_t w = 0; w < served.size(); ++w) {
+      served_rows.push_back(
+          {name, std::to_string(w), std::to_string(served[w]),
+           bench::Fmt("%.4f", total_served > 0
+                                  ? static_cast<double>(served[w]) /
+                                        static_cast<double>(total_served)
+                                  : 0.0)});
+    }
     if (std::string(name) == "edge_cut") {
       hot_share_edge_cut = report.partition_stats.hot_server_share;
       max_served_edge_cut = static_cast<double>(max_served);
@@ -156,6 +168,12 @@ void RunSkewSweep(bench::ObsBench& obs, const bench::BenchArgs& args) {
            return bytes / (1024.0 * 1024.0);
          }())});
   }
+
+  // The full per-worker distribution behind the max/mean columns: which
+  // worker the hub traffic actually lands on, per placement policy.
+  obs.report().AddTable("served_reads_per_worker",
+                        {"policy", "worker", "served_reads", "share"});
+  for (const auto& row : served_rows) obs.report().AddRow(row);
 
   // The gated headline: how much hotter the hottest server runs under plain
   // hash edge-cut than under hub replication, on the degree-proportional

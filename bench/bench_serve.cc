@@ -21,6 +21,9 @@
 #include "bench_util.h"
 #include "gen/powerlaw.h"
 #include "nn/matrix.h"
+#include "obs/attrib.h"
+#include "obs/recorder.h"
+#include "obs/window.h"
 #include "serve/load_generator.h"
 #include "serve/serve_engine.h"
 
@@ -33,6 +36,26 @@ struct Scenario {
   std::string label;   ///< table cell
   serve::LoadConfig load;
 };
+
+/// Snapshots one scenario's windowed timeline into report-table rows while
+/// the engine still holds it (the next Run() rebuilds the timeline).
+std::vector<std::vector<std::string>> TimelineRows(
+    const serve::ServeTimeline& tl) {
+  std::vector<std::vector<std::string>> rows;
+  const double interval_us = tl.offered.interval_us();
+  for (int64_t w = tl.first_index(); w <= tl.last_index(); ++w) {
+    rows.push_back(
+        {bench::Fmt("%.1f", static_cast<double>(w) * interval_us * 1e-3),
+         std::to_string(tl.offered.At(w).count),
+         std::to_string(tl.completed.At(w).count),
+         std::to_string(tl.shed.At(w).count),
+         std::to_string(tl.missed.At(w).count),
+         bench::Fmt("%.1f", tl.completed.RatePerSec(w)),
+         bench::Fmt("%.1f", tl.completed.Percentile(w, 50.0)),
+         bench::Fmt("%.1f", tl.completed.Percentile(w, 99.0))});
+  }
+  return rows;
+}
 
 }  // namespace
 
@@ -67,6 +90,9 @@ int main(int argc, char** argv) {
   scfg.deadline_us = 5000.0;
   scfg.pipeline_depth = 2;
   scfg.seed = args.seed + 29;
+  // 50ms modeled windows: each scenario's stream spans a few hundred ms to
+  // ~1.5s, so the timeline gets a handful-to-dozens of points.
+  scfg.timeline_interval_us = 50000.0;
   serve::ServeEngine engine(graph, features, scfg);
 
   // Modeled capacity with these fans is ~7k rps on 2 lanes; the sweep
@@ -99,9 +125,27 @@ int main(int argc, char** argv) {
       {"serve.closed", "closed 8 users", closed_load},
   };
 
+  // The gated "serve.open" scenario also feeds a flight recorder: K
+  // slowest completed requests + a uniform sample, traces rematched from
+  // the span rings after the run, dumped for tools/trace_attrib.
+  obs::FlightRecorderConfig rcfg;
+  rcfg.slowest_k = 8;
+  rcfg.sample_k = 8;
+  rcfg.seed = args.seed;
+  obs::FlightRecorder recorder(rcfg);
+  obs::AttributionReport open_attrib;
+  bool have_open_attrib = false;
+
+  double min_coverage = 1.0;
+  // Timeline rows are snapshotted inside the loop (the next Run() rebuilds
+  // the engine's timeline) but emitted as report tables only after the
+  // serving table's rows are complete — AddRow appends to the LAST table.
+  std::vector<std::vector<std::vector<std::string>>> timelines;
   obs.Table("serving", {"scenario", "completed", "shed %", "miss %",
                         "p50 us", "p99 us", "p99.9 us", "goodput rps"});
   for (const Scenario& s : scenarios) {
+    const bool recorded = s.key == "serve.open";
+    engine.set_recorder(recorded ? &recorder : nullptr);
     const serve::LoadGenerator gen(graph, s.load);
     const serve::LatencyReport r = engine.Run(gen);
     obs.TableRow({s.label,
@@ -118,6 +162,51 @@ int main(int argc, char** argv) {
     obs.report().AddMetric(s.key + ".shed_rate", r.shed_rate);
     obs.report().AddMetric(s.key + ".deadline_miss_rate",
                            r.deadline_miss_rate);
+    obs.report().AddMetric(s.key + ".attrib_coverage", r.attrib_coverage);
+    min_coverage = std::min(min_coverage, r.attrib_coverage);
+    if (engine.timeline() != nullptr) {
+      timelines.push_back(TimelineRows(*engine.timeline()));
+    } else {
+      timelines.emplace_back();
+    }
+    if (recorded) {
+      // Capture now: later scenarios keep writing the same span rings, so
+      // this run's spans are only guaranteed resident at this point.
+      open_attrib = obs::BuildAttributionReport(engine.budgets());
+      have_open_attrib = true;
+      recorder.SetAttribution(open_attrib);
+      recorder.CaptureTraces(obs.tracer().Events());
+    }
+  }
+  engine.set_recorder(nullptr);
+
+  // Worst attribution coverage across the sweep: gated >= 0.95 so a new
+  // modeled latency source cannot ship without declaring its budget
+  // component.
+  obs.report().AddMetric("serve.attrib.coverage", min_coverage);
+
+  for (size_t i = 0; i < scenarios.size(); ++i) {
+    if (timelines[i].empty()) continue;
+    obs.report().AddTable(
+        "timeline." + scenarios[i].key,
+        {"t_ms", "offered", "completed", "shed", "missed", "goodput_rps",
+         "p50_us", "p99_us"});
+    for (const auto& row : timelines[i]) obs.report().AddRow(row);
+  }
+
+  if (have_open_attrib) {
+    std::printf("\np50-vs-p99 attribution (serve.open):\n%s",
+                open_attrib.ToString().c_str());
+    const std::string rec_path = args.out_dir + "/bench_serve.flightrec.json";
+    const Status st = recorder.WriteJson(rec_path, "bench_serve.serve.open");
+    if (st.ok()) {
+      std::printf("flight recorder: %s (%llu offered, %zu exemplars)\n",
+                  rec_path.c_str(),
+                  static_cast<unsigned long long>(recorder.offered()),
+                  recorder.Exemplars().size());
+    } else {
+      std::printf("flight recorder FAILED: %s\n", st.ToString().c_str());
+    }
   }
 
   obs.WriteReport();

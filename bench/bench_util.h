@@ -133,6 +133,11 @@ class ObsBench {
   /// Chrome trace_event JSON and prints the slowest request's critical
   /// path. Call at a quiescent point (all instrumented work finished).
   void WriteReport() {
+    // Surface the tracer's own loss accounting: span records that fell off
+    // the per-thread rings before this snapshot. A run report claiming
+    // "here are the spans" should also say how many it is missing.
+    registry_.GetCounter("trace.dropped_records")
+        ->Add(tracer_.dropped_records());
     report_.AttachMetrics(registry_.Snapshot());
     report_.AttachSpans(tracer_.Aggregate());
     std::string path;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <queue>
 #include <utility>
 
@@ -13,6 +14,8 @@
 #include "layout/layout.h"
 #include "nn/layers.h"
 #include "obs/metrics.h"
+#include "obs/recorder.h"
+#include "obs/trace.h"
 #include "pipeline/block_pipeline.h"
 #include "sampling/sampler.h"
 
@@ -61,14 +64,39 @@ std::string LatencyReport::ToString() const {
       buf, sizeof(buf),
       "offered=%llu completed=%llu shed=%llu missed=%llu | "
       "p50=%.0fus p95=%.0fus p99=%.0fus p99.9=%.0fus max=%.0fus | "
-      "goodput=%.1frps shed=%.1f%% miss=%.1f%% peak_inflight=%zu",
+      "goodput=%.1frps shed=%.1f%% miss=%.1f%% peak_inflight=%zu "
+      "attrib_cov=%.4f",
       static_cast<unsigned long long>(offered),
       static_cast<unsigned long long>(completed),
       static_cast<unsigned long long>(shed),
       static_cast<unsigned long long>(deadline_missed), p50_us, p95_us,
       p99_us, p999_us, max_us, goodput_rps, 100.0 * shed_rate,
-      100.0 * deadline_miss_rate, max_in_flight_observed);
+      100.0 * deadline_miss_rate, max_in_flight_observed, attrib_coverage);
   return buf;
+}
+
+ServeTimeline::ServeTimeline(double interval_us, size_t windows)
+    : offered(interval_us, windows),
+      completed(interval_us, windows, obs::LatencyBoundsUs()),
+      shed(interval_us, windows),
+      missed(interval_us, windows) {}
+
+int64_t ServeTimeline::first_index() const {
+  int64_t first = std::numeric_limits<int64_t>::max();
+  for (const obs::WindowedSeries* s : {&offered, &completed, &shed, &missed}) {
+    if (s->last_index() >= s->first_index()) {
+      first = std::min(first, s->first_index());
+    }
+  }
+  return first == std::numeric_limits<int64_t>::max() ? 0 : first;
+}
+
+int64_t ServeTimeline::last_index() const {
+  int64_t last = -1;
+  for (const obs::WindowedSeries* s : {&offered, &completed, &shed, &missed}) {
+    last = std::max(last, s->last_index());
+  }
+  return last;
 }
 
 ServeEngine::ServeEngine(const AttributedGraph& graph,
@@ -114,6 +142,12 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
   const std::vector<uint32_t> fans{config_.fanout1, config_.fanout2};
 
   results_.assign(n, RequestResult{});
+  budgets_.assign(n, obs::RequestBudget{});
+  timeline_.reset();
+  if (config_.timeline_interval_us > 0.0) {
+    timeline_ = std::make_unique<ServeTimeline>(config_.timeline_interval_us,
+                                                config_.timeline_windows);
+  }
 
   LocalNeighborSource source(graph_);
   block::MatrixFeatureSource feature_source(features_);
@@ -180,6 +214,15 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
         if (first_arrival < 0.0) first_arrival = arrival;
         last_event = std::max(last_event, arrival);
         Count(offered_);
+        if (timeline_) timeline_->offered.Count(arrival);
+
+        // The budget's trace id is the batch root minted by the pipeline
+        // for this request — the sample callback runs inside its adopted
+        // context, so the flight recorder can rematch the trace tree after
+        // the run.
+        obs::RequestBudget& budget = budgets_[id];
+        budget.request_id = id;
+        budget.trace_id = obs::CurrentTraceContext().trace_id;
 
         // 1. Retire everything that finished before this arrival.
         while (!inflight.empty() && inflight.top() <= arrival) inflight.pop();
@@ -190,6 +233,12 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
           r.outcome = RequestOutcome::kShed;
           ++shed_count;
           Count(shed_);
+          // A shed request spends no modeled time: total stays 0 so it
+          // never dilutes attribution coverage, but the outcome is kept so
+          // the flight recorder's uniform sample shows sheds in proportion.
+          budget.outcome = obs::RequestBudget::Outcome::kShed;
+          if (timeline_) timeline_->shed.Count(arrival);
+          if (recorder_ != nullptr) recorder_->Offer(budget);
           if (closed) users.push({arrival + load.think_time_us, user});
           return false;
         }
@@ -200,10 +249,19 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
                                  gen.RequestSeed(id));
         *block = hood.SampleBlock(source, TranslateRoots(gen, id),
                                   NeighborhoodSampler::kAllEdgeTypes, fans);
-        const double service =
-            config_.base_service_us +
-            config_.per_edge_us * static_cast<double>(BlockEdges(*block)) +
-            config_.per_row_us * static_cast<double>(block->num_vertices());
+        // Priced per phase so the request's latency budget decomposes by
+        // cause. The sum keeps the original left-to-right association
+        // (base + per_edge*E) + per_row*R, so `service` — and every gated
+        // serve.* baseline number downstream of it — is bit-identical to
+        // the un-decomposed expression.
+        const size_t block_edges = BlockEdges(*block);
+        const size_t block_rows = block->num_vertices();
+        const double sample_us =
+            config_.per_edge_us * static_cast<double>(block_edges);
+        const double gather_us =
+            config_.per_row_us * static_cast<double>(block_rows);
+        const double compute_us = config_.base_service_us;
+        const double service = compute_us + sample_us + gather_us;
 
         // 4. Deadline: a request that cannot finish inside its budget is
         // abandoned before it occupies a lane — serving a reply nobody is
@@ -215,6 +273,19 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
           r.outcome = RequestOutcome::kDeadlineMissed;
           ++missed_count;
           Count(deadline_missed_);
+          // The client waited out its whole budget before giving up: the
+          // abandoned request's modeled cost is the deadline, charged to a
+          // single component (the wait bought nothing decomposable).
+          budget.outcome = obs::RequestBudget::Outcome::kAbandoned;
+          budget.total_us = config_.deadline_us;
+          budget.at(obs::BudgetComponent::kAbandoned) = config_.deadline_us;
+          if (timeline_) {
+            timeline_->missed.Count(arrival + config_.deadline_us);
+          }
+          if (recorder_ != nullptr) {
+            recorder_->Offer(budget, {{"sampled_edges", block_edges},
+                                      {"block_rows", block_rows}});
+          }
           if (closed) {
             users.push(
                 {arrival + config_.deadline_us + load.think_time_us, user});
@@ -234,6 +305,20 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
         latencies.Add(r.latency_us);
         Observe(modeled_latency_, r.latency_us);
         Observe(queue_wait_, r.queue_wait_us);
+        // Budget the completed request by cause. total_us is derived
+        // independently (finish - arrival), so coverage stays an honest
+        // accounting check rather than a tautology.
+        budget.outcome = obs::RequestBudget::Outcome::kCompleted;
+        budget.total_us = r.latency_us;
+        budget.at(obs::BudgetComponent::kQueueWait) = r.queue_wait_us;
+        budget.at(obs::BudgetComponent::kSample) = sample_us;
+        budget.at(obs::BudgetComponent::kGather) = gather_us;
+        budget.at(obs::BudgetComponent::kCompute) = compute_us;
+        if (timeline_) timeline_->completed.Record(finish, r.latency_us);
+        if (recorder_ != nullptr) {
+          recorder_->Offer(budget, {{"sampled_edges", block_edges},
+                                    {"block_rows", block_rows}});
+        }
         last_event = std::max(last_event, finish);
         if (closed) users.push({finish + load.think_time_us, user});
         return true;
@@ -287,6 +372,8 @@ LatencyReport ServeEngine::Run(const LoadGenerator& gen) {
     report.deadline_miss_rate =
         static_cast<double>(missed_count) / static_cast<double>(n);
   }
+  report.attrib_coverage =
+      obs::BuildAttributionReport(budgets_).coverage;
   return report;
 }
 

@@ -55,6 +55,7 @@
 #define ALIGRAPH_SERVE_SERVE_ENGINE_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -62,12 +63,15 @@
 #include "common/random.h"
 #include "graph/graph.h"
 #include "nn/matrix.h"
+#include "obs/attrib.h"
+#include "obs/window.h"
 #include "serve/load_generator.h"
 
 namespace aligraph {
 
 namespace obs {
 class Counter;
+class FlightRecorder;
 class Histogram;
 }  // namespace obs
 
@@ -105,6 +109,12 @@ struct ServeConfig {
   size_t pipeline_depth = 2;
   /// Seed for the served model's weight initialization.
   uint64_t seed = 29;
+
+  /// Width of one timeline window on the MODELED clock (see
+  /// ServeEngine::timeline). 0 disables the timeline.
+  double timeline_interval_us = 10000.0;
+  /// Most recent timeline windows retained per series.
+  size_t timeline_windows = 1024;
 };
 
 /// \brief What happened to one offered request.
@@ -150,8 +160,31 @@ struct LatencyReport {
   /// High-water mark of concurrently admitted requests — the admission
   /// test asserts this never exceeds max_in_flight.
   size_t max_in_flight_observed = 0;
+  /// Attribution coverage: sum of per-request budget components divided by
+  /// the total modeled latency, over every request with nonzero latency.
+  /// Deterministic, gated >= 0.95 in bench/baseline.json — a new modeled
+  /// latency source that forgets to declare a budget component fails the
+  /// gate instead of silently rotting the breakdown (DESIGN.md §16).
+  double attrib_coverage = 1.0;
 
   std::string ToString() const;
+};
+
+/// \brief Per-series modeled-clock timelines of one serving run (see
+/// obs::WindowedSeries): arrivals, completions (latency-valued, so
+/// percentile-over-window works), sheds and deadline misses share one
+/// window grid. Rebuilt by every Run().
+struct ServeTimeline {
+  ServeTimeline(double interval_us, size_t windows);
+
+  obs::WindowedSeries offered;    ///< arrivals, counted at arrival time
+  obs::WindowedSeries completed;  ///< latencies, recorded at finish time
+  obs::WindowedSeries shed;       ///< counted at the (instant) rejection
+  obs::WindowedSeries missed;     ///< counted when the client gave up
+
+  /// Union index range over the four series, for aligned walking.
+  int64_t first_index() const;
+  int64_t last_index() const;
 };
 
 /// \brief Serves embedding requests over one graph + feature matrix with a
@@ -179,6 +212,19 @@ class ServeEngine {
   /// Per-request outcomes of the last Run, indexed by request id.
   const std::vector<RequestResult>& results() const { return results_; }
 
+  /// Per-request latency budgets of the last Run, indexed by request id
+  /// (see obs::RequestBudget). Every offered request has one; shed
+  /// requests carry a zero total.
+  const std::vector<obs::RequestBudget>& budgets() const { return budgets_; }
+
+  /// Windowed timeline of the last Run; null before the first Run or when
+  /// config.timeline_interval_us == 0.
+  const ServeTimeline* timeline() const { return timeline_.get(); }
+
+  /// Installs a flight recorder to Offer() every retired request to during
+  /// Run(). Not owned; must outlive the engine or be detached (nullptr).
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
   /// Replays request `id` through the sequential offline path (same roots,
   /// same per-request seed, no pipeline, no admission) and returns the
   /// embedding fingerprint. For any request Run() completed, this must
@@ -201,6 +247,9 @@ class ServeEngine {
   algo::SageLayer layer1_;
   algo::SageLayer layer2_;
   std::vector<RequestResult> results_;
+  std::vector<obs::RequestBudget> budgets_;
+  std::unique_ptr<ServeTimeline> timeline_;
+  obs::FlightRecorder* recorder_ = nullptr;
 
   // Handles from the default registry at construction (null when detached).
   obs::Counter* offered_ = nullptr;

@@ -89,6 +89,49 @@ TEST(MetricsTest, HistogramBucketsAndPercentiles) {
   EXPECT_DOUBLE_EQ(snap.Percentile(99.9), 1000.0);
 }
 
+// Degenerate snapshots the attribution/window layers can legitimately
+// produce (empty windows, single-phase mass, out-of-range p) must resolve
+// to defined values, not UB or surprises.
+TEST(MetricsTest, PercentileEdgeCases) {
+  // Empty snapshot: any percentile is 0 by definition.
+  obs::HistogramSnapshot empty;
+  empty.bounds = {10.0, 100.0};
+  empty.counts = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(50.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(100.0), 0.0);
+
+  // All mass in one interior bucket: p interpolates across [lo, hi] and
+  // p0 / p100 clamp to the bucket edges.
+  obs::HistogramSnapshot single;
+  single.bounds = {10.0, 100.0};
+  single.counts = {4, 0, 0};
+  single.count = 4;
+  EXPECT_DOUBLE_EQ(single.Percentile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(50.0), 5.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(100.0), 10.0);
+  // Out-of-range p clamps instead of extrapolating: below 0 pins to the
+  // bucket's lower edge, above 100 to the last finite bound.
+  EXPECT_DOUBLE_EQ(single.Percentile(-10.0), 0.0);
+  EXPECT_DOUBLE_EQ(single.Percentile(150.0), 100.0);
+
+  // All mass in the overflow bucket: no upper edge to interpolate toward,
+  // every percentile reports the last finite bound.
+  obs::HistogramSnapshot overflow;
+  overflow.bounds = {10.0, 100.0};
+  overflow.counts = {0, 0, 7};
+  overflow.count = 7;
+  EXPECT_DOUBLE_EQ(overflow.Percentile(0.0), 100.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(50.0), 100.0);
+  EXPECT_DOUBLE_EQ(overflow.Percentile(100.0), 100.0);
+
+  // A boundless snapshot (only the overflow bucket exists) degrades to 0.
+  obs::HistogramSnapshot boundless;
+  boundless.counts = {3};
+  boundless.count = 3;
+  EXPECT_DOUBLE_EQ(boundless.Percentile(50.0), 0.0);
+}
+
 // The tail percentiles the serving layer gates on: 1000 uniformly spread
 // values in one bucket must resolve p99.9 by interpolation instead of
 // snapping to the bucket bound.

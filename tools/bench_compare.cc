@@ -5,6 +5,14 @@
 ///   bench_compare [--tolerance=0.10] [--metric-tolerance=NAME=TOL]...
 ///                 [--metric-slack=NAME=ABS] [--higher-better=NAME]...
 ///                 <baseline.json> <candidate.json> [candidate2.json]...
+///   bench_compare --list [gate flags]... <baseline.json> [candidate.json]...
+///
+/// --list prints the gate CONTRACT instead of enforcing it: every gated key
+/// with its baseline value, resolved tolerance, absolute slack and
+/// direction (and, when candidates are given, the last-wins candidate
+/// value). Always exits 0 unless the inputs are unreadable — it is the
+/// "what would the gate check" introspection for CI logs and for humans
+/// editing bench/baseline.json.
 ///
 /// Walks the baseline's "metrics" object and compares each against the
 /// candidates with the given relative tolerance; --metric-tolerance
@@ -33,9 +41,10 @@ namespace {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s [--tolerance=R] [--metric-tolerance=NAME=R]... "
-               "[--metric-slack=NAME=ABS]... [--higher-better=NAME]... "
-               "<baseline.json> <candidate.json>...\n",
+               "usage: %s [--list] [--tolerance=R] "
+               "[--metric-tolerance=NAME=R]... [--metric-slack=NAME=ABS]... "
+               "[--higher-better=NAME]... <baseline.json> "
+               "<candidate.json>...\n       (--list needs no candidates)\n",
                argv0);
   return 2;
 }
@@ -53,11 +62,14 @@ bool ReadFile(const std::string& path, std::string* out) {
 
 int main(int argc, char** argv) {
   aligraph::obs::CompareOptions options;
+  bool list_mode = false;
   std::string baseline_path;
   std::vector<std::string> candidate_paths;
   for (int i = 1; i < argc; ++i) {
     const char* arg = argv[i];
-    if (std::strncmp(arg, "--tolerance=", 12) == 0) {
+    if (std::strcmp(arg, "--list") == 0) {
+      list_mode = true;
+    } else if (std::strncmp(arg, "--tolerance=", 12) == 0) {
       char* end = nullptr;
       options.default_tolerance = std::strtod(arg + 12, &end);
       if (end == arg + 12 || *end != '\0' || options.default_tolerance < 0) {
@@ -97,7 +109,8 @@ int main(int argc, char** argv) {
       candidate_paths.push_back(arg);
     }
   }
-  if (candidate_paths.empty()) return Usage(argv[0]);
+  if (baseline_path.empty()) return Usage(argv[0]);
+  if (candidate_paths.empty() && !list_mode) return Usage(argv[0]);
 
   std::string baseline_json;
   if (!ReadFile(baseline_path, &baseline_json)) {
@@ -130,6 +143,49 @@ int main(int argc, char** argv) {
   std::vector<const aligraph::obs::JsonValue*> candidate_ptrs;
   candidate_ptrs.reserve(candidates.size());
   for (const auto& c : candidates) candidate_ptrs.push_back(&c);
+
+  if (list_mode) {
+    const aligraph::obs::JsonValue* base_metrics = baseline->Find("metrics");
+    if (base_metrics == nullptr || !base_metrics->IsObject()) {
+      std::fprintf(stderr, "bench_compare: baseline has no \"metrics\"\n");
+      return 2;
+    }
+    std::printf("gate contract: %s (%zu metric(s), default tolerance "
+                "%.0f%%)\n",
+                baseline_path.c_str(), base_metrics->members.size(),
+                100.0 * options.default_tolerance);
+    for (const auto& [name, value] : base_metrics->members) {
+      if (!value.IsNumber()) continue;
+      const auto tol_it = options.per_metric_tolerance.find(name);
+      const double tol = tol_it == options.per_metric_tolerance.end()
+                             ? options.default_tolerance
+                             : tol_it->second;
+      const auto slack_it = options.per_metric_slack.find(name);
+      const double slack = slack_it == options.per_metric_slack.end()
+                               ? options.absolute_slack
+                               : slack_it->second;
+      const bool higher = options.higher_is_better.count(name) != 0;
+      // Same last-wins resolution the gate itself applies.
+      std::string cand = "-";
+      for (auto it = candidate_ptrs.rbegin(); it != candidate_ptrs.rend();
+           ++it) {
+        const aligraph::obs::JsonValue* m = (*it)->Find("metrics");
+        const aligraph::obs::JsonValue* found =
+            m == nullptr ? nullptr : m->Find(name);
+        if (found != nullptr && found->IsNumber()) {
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%.6g", found->number);
+          cand = buf;
+          break;
+        }
+      }
+      std::printf("%-48s baseline=%-12.6g candidate=%-12s tol=%-5.0f%% "
+                  "slack=%-10.4g %s\n",
+                  name.c_str(), value.number, cand.c_str(), 100.0 * tol,
+                  slack, higher ? "higher-better" : "lower-better");
+    }
+    return 0;
+  }
 
   const auto result =
       aligraph::obs::CompareReports(*baseline, candidate_ptrs, options);

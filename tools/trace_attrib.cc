@@ -1,0 +1,150 @@
+/// \file trace_attrib.cc
+/// \brief CLI over a flight-recorder dump: prints the run's p50-vs-p99
+/// latency attribution and walks the retained exemplars.
+///
+/// Usage:
+///   trace_attrib [--top=N] <flightrec.json>
+///
+/// Reads a dump produced by obs::FlightRecorder::WriteJson (bench_serve
+/// writes one for its gated open-loop scenario) and prints
+///   1. the embedded AttributionReport — which budget component explains
+///      the gap between the p50 and p99 cohorts,
+///   2. the top-N exemplars, slowest first, each with its per-component
+///      budget, counters, and — when the dump carries spans — the longest
+///      blocking chain of its causal trace plus the wall-clock budget
+///      recovered from the trace tree (BudgetFromTraceTree), so the modeled
+///      attribution can be eyeballed against what the real lanes did.
+///
+/// Exit codes: 0 = ok, 2 = usage / unreadable file / malformed dump.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/attrib.h"
+#include "obs/recorder.h"
+#include "obs/timeline.h"
+
+namespace {
+
+using namespace aligraph;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s [--top=N] <flightrec.json>\n", argv0);
+  return 2;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+void PrintBudget(const obs::RequestBudget& budget, const char* indent) {
+  for (size_t c = 0; c < obs::kNumBudgetComponents; ++c) {
+    if (budget.components[c] == 0.0) continue;
+    std::printf("%s%-14s %10.2f us  %5.1f%%\n", indent,
+                obs::BudgetComponentName(
+                    static_cast<obs::BudgetComponent>(c)),
+                budget.components[c],
+                budget.total_us > 0.0
+                    ? 100.0 * budget.components[c] / budget.total_us
+                    : 0.0);
+  }
+}
+
+void PrintExemplar(const obs::Exemplar& ex) {
+  std::printf(
+      "request %llu  trace %016llx  %s%s%s  total %.2f us  coverage %.4f\n",
+      static_cast<unsigned long long>(ex.budget.request_id),
+      static_cast<unsigned long long>(ex.budget.trace_id),
+      obs::BudgetOutcomeName(ex.budget.outcome), ex.slow ? " [slow]" : "",
+      ex.sampled ? " [sampled]" : "", ex.budget.total_us,
+      ex.budget.coverage());
+  PrintBudget(ex.budget, "    ");
+  if (!ex.counters.empty()) {
+    std::printf("    counters:");
+    for (const auto& [name, value] : ex.counters) {
+      std::printf(" %s=%llu", name.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    std::printf("\n");
+  }
+  if (ex.spans.empty()) return;
+  // The dump carries the exemplar's causal spans: reassemble the tree and
+  // show the wall-clock side of the story next to the modeled budget.
+  const obs::TraceForest forest = obs::AssembleTraces(ex.spans);
+  for (const obs::TraceTree& tree : forest.traces) {
+    if (tree.trace_id != ex.budget.trace_id) continue;
+    const obs::RequestBudget wall = obs::BudgetFromTraceTree(tree);
+    std::printf("    wall trace: %zu spans, %.2f us, coverage %.4f\n",
+                tree.nodes.size(), wall.total_us, wall.coverage());
+    PrintBudget(wall, "        ");
+    std::printf("    %s\n",
+                obs::ComputeCriticalPath(tree).ToString().c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  size_t top = 8;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--top=", 6) == 0) {
+      char* end = nullptr;
+      const unsigned long v = std::strtoul(arg + 6, &end, 10);
+      if (end == arg + 6 || *end != '\0') return Usage(argv[0]);
+      top = static_cast<size_t>(v);
+    } else if (std::strncmp(arg, "--", 2) == 0) {
+      return Usage(argv[0]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (path.empty()) return Usage(argv[0]);
+
+  std::string json;
+  if (!ReadFile(path, &json)) {
+    std::fprintf(stderr, "cannot read: %s\n", path.c_str());
+    return 2;
+  }
+  const auto dump = obs::ParseRecorderDump(json);
+  if (!dump.ok()) {
+    std::fprintf(stderr, "trace_attrib: %s\n",
+                 dump.status().ToString().c_str());
+    return 2;
+  }
+
+  std::printf("flight recorder: %s\n", dump->name.c_str());
+  std::printf("offered %llu requests | retained %zu exemplar(s) "
+              "(slowest_k=%zu, sample_k=%zu)\n",
+              static_cast<unsigned long long>(dump->offered),
+              dump->exemplars.size(), dump->config.slowest_k,
+              dump->config.sample_k);
+  if (dump->has_attribution) {
+    std::printf("\n%s", dump->attribution.ToString().c_str());
+  } else {
+    std::printf("\n(no attribution report embedded in this dump)\n");
+  }
+
+  std::printf("\nexemplars (slowest first, top %zu of %zu):\n", top,
+              dump->exemplars.size());
+  size_t shown = 0;
+  for (const obs::Exemplar& ex : dump->exemplars) {
+    if (shown++ >= top) break;
+    std::printf("\n");
+    PrintExemplar(ex);
+  }
+  return 0;
+}
